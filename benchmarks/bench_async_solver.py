@@ -1,0 +1,60 @@
+"""E9 — the asynchronous solver (the paper's TR [4] extension).
+
+"It is possible to eliminate the synchronization entirely by using an
+asynchronous algorithm": chaotic relaxation must still converge (the
+system is strictly diagonally dominant) while spending strictly fewer
+messages per iteration than the synchronous solver — and lazier cache
+refresh must trade convergence speed for even fewer messages.
+"""
+
+import pytest
+
+from repro.apps import AsynchronousSolver, LinearSystem, SynchronousSolver
+from conftest import run_once
+
+N = 6
+
+
+def test_async_converges(benchmark):
+    system = LinearSystem.random(N, seed=13)
+
+    def run():
+        return AsynchronousSolver(system, iterations=40, seed=2).run()
+
+    result = run_once(benchmark, run)
+    assert result.max_error < 1e-8
+
+
+def test_async_cheaper_than_sync(benchmark):
+    system = LinearSystem.random(N, seed=13)
+
+    def run_both():
+        sync = SynchronousSolver(
+            system, protocol="causal", iterations=20, seed=2
+        ).run()
+        async_result = AsynchronousSolver(system, iterations=20, seed=2).run()
+        return sync, async_result
+
+    sync, async_result = run_once(benchmark, run_both)
+    assert (
+        async_result.steady_messages_per_processor
+        < sync.steady_messages_per_processor
+    )
+
+
+@pytest.mark.parametrize("refresh", [1, 2, 4])
+def test_lazier_refresh_fewer_messages(benchmark, refresh):
+    system = LinearSystem.random(N, seed=13)
+
+    def run():
+        return AsynchronousSolver(
+            system, iterations=40 * refresh, refresh=refresh, seed=2
+        ).run()
+
+    result = run_once(benchmark, run)
+    # Messages per iteration scale as 2(n-1)/refresh.
+    expected = 2 * (N - 1) / refresh
+    assert result.steady_messages_per_processor == pytest.approx(
+        expected, rel=0.15
+    )
+    assert result.max_error < 1e-6

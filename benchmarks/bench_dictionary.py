@@ -1,0 +1,57 @@
+"""E10 — the distributed dictionary (Section 4.2).
+
+Benchmarks random mixed workloads (inserts / lookups / deletes with the
+paper's R1/R2 restrictions) and asserts the paper's correctness story:
+views converge after quiescence, recorded histories are causal, the
+owner-favoured policy rejects the stale-delete race while
+last-writer-wins demonstrably loses the newer insert.
+"""
+
+import pytest
+
+from repro.apps.dictionary import run_random_dictionary
+from repro.harness.scenarios import run_dictionary_delete_race
+from repro.protocols.policies import LastWriterWins, OwnerFavoured
+from conftest import run_once
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_dictionary_converges(benchmark, seed):
+    def run():
+        return run_random_dictionary(
+            n=4, m=6, ops_per_proc=12, seed=seed
+        )
+
+    outcome = run_once(benchmark, run)
+    assert outcome.converged
+    assert outcome.history_is_causal
+
+
+def test_delete_race_owner_favoured_safe(benchmark):
+    outcome = run_once(benchmark, run_dictionary_delete_race, OwnerFavoured())
+    assert outcome.new_item_survived
+    assert outcome.delete_was_rejected
+
+
+def test_delete_race_lww_anomaly(benchmark):
+    outcome = run_once(benchmark, run_dictionary_delete_race, LastWriterWins())
+    assert not outcome.new_item_survived
+
+
+def test_dictionary_insert_throughput(benchmark):
+    """Inserts are local-only: measure the zero-message fast path."""
+    from repro.apps.dictionary import DictionaryCluster
+
+    def run():
+        dictionary = DictionaryCluster(n=1, m=64, record_history=False)
+
+        def process(api):
+            for i in range(60):
+                yield from dictionary.insert(api, f"k{i}")
+
+        dictionary.spawn(0, process)
+        dictionary.run()
+        return dictionary
+
+    dictionary = benchmark(run)
+    assert dictionary.stats.total == 0

@@ -1,0 +1,28 @@
+"""E11 — discard ensures eventual communication (Section 3.1).
+
+"Without discard two processors that initially cache all locations and
+only write locations owned by them need never communicate."  The bench
+measures both sides: zero post-warm-up messages (and permanently frozen
+views) without discard; fresh values at two messages per refetch with
+it.
+"""
+
+from repro.harness.scenarios import run_discard_liveness
+from conftest import run_once
+
+ROUNDS = 10
+
+
+def test_without_discard_views_freeze(benchmark):
+    outcome = run_once(benchmark, run_discard_liveness, False, ROUNDS)
+    assert outcome.messages_after_warmup == 0
+    assert not outcome.observed_fresh_values
+    assert outcome.final_observed == (0, 0)
+
+
+def test_with_discard_views_track_writers(benchmark):
+    outcome = run_once(benchmark, run_discard_liveness, True, ROUNDS)
+    assert outcome.observed_fresh_values
+    assert outcome.final_authoritative == (ROUNDS, ROUNDS)
+    # 2 messages per refetch, 2 nodes, one refetch per round.
+    assert outcome.messages_after_warmup == 2 * 2 * ROUNDS

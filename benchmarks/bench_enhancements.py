@@ -1,0 +1,65 @@
+"""E13–E16 — the Section 3.2 enhancement experiments, benchmarked.
+
+* E13 write-behind: the naive "reduce blocking" variant breaks causal
+  memory (and the blocking protocol does not) — why Figure 4 blocks.
+* E14 page granularity: cold-fetch traffic falls as 2*ceil(N/P).
+* E15 locality: skewed access patterns raise cache hit rates and cut
+  message traffic — the benefit coherent DSM pays invalidations for.
+* E16 latency: total blocked time grows faster on atomic memory than on
+  causal memory as link latency rises.
+"""
+
+from repro.checker import check_causal
+from repro.harness.experiments import (
+    exp_latency_blocking,
+    exp_locality,
+    exp_page_granularity,
+)
+from repro.harness.scenarios import run_write_behind_race
+from conftest import run_once
+
+
+def test_e13_write_behind_hazard(benchmark):
+    def run():
+        return (
+            run_write_behind_race(unsafe=False),
+            run_write_behind_race(unsafe=True),
+        )
+
+    safe, unsafe = run_once(benchmark, run)
+    assert check_causal(safe).ok
+    assert not check_causal(unsafe).ok
+
+
+def test_e14_page_granularity_sweep(benchmark):
+    report = run_once(benchmark, exp_page_granularity)
+    assert report.passed, report.text
+    rows = report.data["rows"]
+    colds = [row["cold"] for row in rows]
+    # Strictly decreasing traffic with growing pages.
+    assert all(b < a for a, b in zip(colds, colds[1:]))
+    print()
+    print(report.text)
+
+
+def test_e15_locality_hit_rates(benchmark):
+    report = run_once(benchmark, exp_locality)
+    assert report.passed, report.text
+    assert report.data["95/5"]["hit_rate"] > 0.8
+
+
+def test_e16_latency_blocking_gap(benchmark):
+    report = run_once(benchmark, exp_latency_blocking)
+    assert report.passed, report.text
+    assert all(ratio > 1.0 for ratio in report.data["ratios"])
+
+
+def test_e17_ownership_migration(benchmark):
+    from repro.harness.experiments import exp_ownership_migration
+
+    report = run_once(benchmark, exp_ownership_migration)
+    assert report.passed, report.text
+    # Migration's write-local payoff is large...
+    assert report.data["li"]["local"] * 3 <= report.data["atomic"]["local"]
+    # ...and its ping-pong penalty is real.
+    assert report.data["causal"]["pingpong"] < report.data["li"]["pingpong"]

@@ -1,0 +1,29 @@
+"""E1 — Figure 1: building and querying the causal relations.
+
+Regenerates the paper's Figure 1 discussion (concurrency of w(x)1 and
+w(z)1; transitive precedence w(x)1 *-> r1(y)2) and benchmarks the
+causality-graph construction used by every checker call.
+"""
+
+from repro.checker import CausalOrder, History
+from repro.harness.experiments import FIGURE_1, exp_fig1
+
+
+def test_fig1_causal_relations(benchmark):
+    history = History.parse(FIGURE_1)
+
+    def build_and_query():
+        order = CausalOrder(history)
+        return (
+            order.concurrent(history.op(0, 0), history.op(1, 0)),
+            order.precedes(history.op(0, 0), history.op(0, 2)),
+        )
+
+    concurrent, transitive = benchmark(build_and_query)
+    assert concurrent      # w1(x)1 || w2(z)1
+    assert transitive      # w1(x)1 *-> r1(y)2
+
+
+def test_fig1_experiment_report(benchmark):
+    report = benchmark(exp_fig1)
+    assert report.passed, report.text

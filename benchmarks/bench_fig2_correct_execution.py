@@ -1,0 +1,24 @@
+"""E2 — Figure 2: the checker accepts the paper's correct execution.
+
+Asserts the exact live sets the paper computes by hand:
+alpha(r1(z)5) = {0, 5}; alpha(r2(y)3) = {0, 2, 3};
+alpha(r2(x)4) = {4, 7, 9}; and benchmarks a full Definition-2 check.
+"""
+
+from repro.checker import History, check_causal
+from repro.harness.experiments import FIGURE_2, exp_fig2
+
+
+def test_fig2_checker_accepts_with_paper_live_sets(benchmark):
+    history = History.parse(FIGURE_2)
+    result = benchmark(check_causal, history)
+    assert result.ok
+    assert result.alpha(0, 3) == {0, 5}
+    assert result.alpha(1, 1) == {0, 2, 3}
+    assert result.alpha(1, 4) == {4, 7, 9}
+    assert result.alpha(1, 5) == {4, 9}
+
+
+def test_fig2_experiment_report(benchmark):
+    report = benchmark(exp_fig2)
+    assert report.passed, report.text

@@ -1,0 +1,25 @@
+"""E3 — Figure 3: causal broadcasting is not causal memory.
+
+Benchmarks the live simulation that drives the ISIS-style broadcast
+memory into exactly the paper's Figure 3 execution and asserts that the
+causal checker rejects it (2 is not in alpha(r3(x)2)).
+"""
+
+from repro.checker import History, check_causal
+from repro.harness.experiments import FIGURE_3
+from repro.harness.scenarios import run_figure3_on_broadcast
+
+
+def test_fig3_broadcast_memory_produces_anomaly(benchmark):
+    history = benchmark(run_figure3_on_broadcast)
+    assert history.to_text() == History.parse(FIGURE_3).to_text()
+    result = check_causal(history)
+    assert not result.ok
+    # The violating read is r3(x)2, whose live set is {5}.
+    assert result.alpha(2, 1) == {5}
+
+
+def test_fig3_checker_rejects_written_history(benchmark):
+    history = History.parse(FIGURE_3)
+    result = benchmark(check_causal, history)
+    assert not result.ok

@@ -1,0 +1,58 @@
+"""E4 — Figure 4: the owner protocol, fuzzed and measured.
+
+Benchmarks random-workload execution through the causal owner protocol
+(the Figure 4 engine) and asserts safety: every recorded history passes
+the Definition-2 checker, and every remote operation costs exactly one
+request/reply pair.
+"""
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import check_causal
+
+
+def test_fig4_random_execution_is_causal(benchmark):
+    def run():
+        return run_random_execution(
+            WorkloadConfig(
+                n_nodes=4, n_locations=5, ops_per_proc=40, seed=11,
+            )
+        )
+
+    outcome = benchmark(run)
+    assert check_causal(outcome.history).ok
+
+
+def test_fig4_remote_ops_cost_two_messages(benchmark):
+    from repro.protocols.base import DSMCluster
+
+    def run():
+        cluster = DSMCluster(3, protocol="causal", seed=5)
+
+        def process(api, me):
+            yield api.write(f"k{me}", me)
+            for other in range(3):
+                value = yield api.read(f"k{other}")
+
+        for node in range(3):
+            cluster.spawn(node, process, node)
+        cluster.run()
+        return cluster
+
+    cluster = benchmark(run)
+    by_kind = cluster.stats.by_kind
+    # Every request is answered by exactly one reply.
+    assert by_kind.get("READ", 0) == by_kind.get("R_REPLY", 0)
+    assert by_kind.get("WRITE", 0) == by_kind.get("W_REPLY", 0)
+    # And remote operation counts match the request counts.
+    remote_reads = sum(n.stats.remote_reads for n in cluster.nodes)
+    remote_writes = sum(n.stats.remote_writes for n in cluster.nodes)
+    assert remote_reads == by_kind.get("READ", 0)
+    assert remote_writes == by_kind.get("WRITE", 0)
+
+
+def test_fig4_checker_throughput_on_protocol_history(benchmark):
+    outcome = run_random_execution(
+        WorkloadConfig(n_nodes=4, n_locations=5, ops_per_proc=50, seed=3)
+    )
+    result = benchmark(check_causal, outcome.history)
+    assert result.ok

@@ -1,0 +1,23 @@
+"""E5 — Figure 5: the weakly consistent execution.
+
+Benchmarks the live protocol run (owner(x)=P1, owner(y)=P2) that yields
+the paper's Figure 5 and asserts the separation: admitted by causal
+memory, rejected by sequential consistency.
+"""
+
+from repro.checker import History, check_causal, check_sequential
+from repro.harness.experiments import FIGURE_5
+from repro.harness.scenarios import run_figure5_on_causal
+
+
+def test_fig5_protocol_produces_weak_execution(benchmark):
+    history = benchmark(run_figure5_on_causal)
+    assert history.to_text() == History.parse(FIGURE_5).to_text()
+    assert check_causal(history).ok
+    assert not check_sequential(history, want_witness=False).ok
+
+
+def test_fig5_sequential_search_cost(benchmark):
+    history = History.parse(FIGURE_5)
+    result = benchmark(check_sequential, history, want_witness=False)
+    assert not result.ok

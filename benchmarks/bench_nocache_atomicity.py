@@ -1,0 +1,52 @@
+"""E12 — no-cache reads yield strong consistency (Section 3.2).
+
+"A simple strategy to maintain correctness is to force a request to the
+owner on every read.  This strategy results in a memory that satisfies
+atomic correctness" — verified by fuzzing the no-cache configuration
+against the sequential-consistency checker, and contrasted with the
+cached configuration (which produces the Figure-5-style weak executions
+SC forbids).
+"""
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import check_sequential
+from repro.harness.scenarios import run_figure5_on_causal
+from conftest import run_once
+
+
+def test_nocache_random_executions_sequentially_consistent(benchmark):
+    def run():
+        outcomes = []
+        for seed in range(8):
+            outcomes.append(
+                run_random_execution(
+                    WorkloadConfig(
+                        n_nodes=3, n_locations=3, ops_per_proc=14,
+                        seed=seed, no_cache=True,
+                    )
+                )
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    for outcome in outcomes:
+        assert check_sequential(outcome.history, want_witness=False).ok
+
+
+def test_cached_mode_is_genuinely_weaker(benchmark):
+    history = run_once(benchmark, run_figure5_on_causal)
+    assert not check_sequential(history, want_witness=False).ok
+
+
+def test_nocache_costs_more_reads(benchmark):
+    def run(no_cache):
+        return run_random_execution(
+            WorkloadConfig(
+                n_nodes=3, n_locations=3, ops_per_proc=20,
+                seed=4, no_cache=no_cache, read_fraction=0.7,
+            )
+        )
+
+    cached = run(False)
+    uncached = run_once(benchmark, run, True)
+    assert uncached.total_messages > cached.total_messages

@@ -1,0 +1,45 @@
+"""E7 — solver correctness: the same program on three memories.
+
+The paper's Section 4.1 claim that the Figure 6 program is "correct on
+both atomic and causal memory": the solver's solution must match
+``numpy.linalg.solve`` on every memory model, to within Jacobi
+convergence tolerance, with byte-identical per-protocol results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import LinearSystem, SynchronousSolver
+from conftest import run_once
+
+PROTOCOLS = ("causal", "atomic", "central")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_solver_convergence(benchmark, protocol):
+    system = LinearSystem.random(6, seed=11)
+
+    def run():
+        return SynchronousSolver(
+            system, protocol=protocol, iterations=25, seed=3
+        ).run()
+
+    result = run_once(benchmark, run)
+    assert result.max_error < 1e-6
+    assert result.residual < 1e-5
+
+
+def test_solutions_identical_across_memories(benchmark):
+    system = LinearSystem.random(6, seed=11)
+
+    def run_all():
+        return {
+            protocol: SynchronousSolver(
+                system, protocol=protocol, iterations=25, seed=3
+            ).run().solution
+            for protocol in PROTOCOLS
+        }
+
+    solutions = run_once(benchmark, run_all)
+    assert np.allclose(solutions["causal"], solutions["atomic"])
+    assert np.allclose(solutions["causal"], solutions["central"])

@@ -1,0 +1,94 @@
+"""Substrate performance: simulator, protocol and checker throughput.
+
+Not a paper artefact — these benches characterize the reproduction's
+own instruments so regressions in the simulator or checker are caught
+(a 10x slower checker would silently gut the property-test coverage).
+"""
+
+import pytest
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import CausalOrder, check_causal, check_sequential
+from repro.protocols.base import DSMCluster
+from repro.sim.kernel import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_protocol_operation_throughput(benchmark):
+    def run():
+        cluster = DSMCluster(4, protocol="causal", record_history=False)
+
+        def process(api, me):
+            for i in range(200):
+                location = f"loc{(me + i) % 8}"
+                if i % 3 == 0:
+                    yield api.write(location, i)
+                else:
+                    yield api.read(location)
+
+        for node in range(4):
+            cluster.spawn(node, process, node)
+        cluster.run()
+        return cluster.stats.total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.parametrize("ops", [50, 100, 200])
+def test_causal_checker_scaling(benchmark, ops):
+    outcome = run_random_execution(
+        WorkloadConfig(
+            n_nodes=4, n_locations=6, ops_per_proc=ops, seed=2,
+        )
+    )
+    result = benchmark(check_causal, outcome.history)
+    assert result.ok
+
+
+def test_causality_graph_construction(benchmark):
+    outcome = run_random_execution(
+        WorkloadConfig(n_nodes=4, n_locations=6, ops_per_proc=150, seed=2)
+    )
+    order = benchmark(CausalOrder, outcome.history)
+    assert len(order.ops) > 0
+
+
+def test_full_classifier_on_protocol_history(benchmark):
+    from repro.checker import classify
+
+    outcome = run_random_execution(
+        WorkloadConfig(n_nodes=3, n_locations=3, ops_per_proc=12, seed=9)
+    )
+    profile = benchmark(classify, outcome.history)
+    assert profile.causal
+    assert profile.hierarchy_consistent()
+
+
+def test_sequential_checker_on_protocol_history(benchmark):
+    outcome = run_random_execution(
+        WorkloadConfig(
+            n_nodes=3, n_locations=3, ops_per_proc=15, seed=2,
+            protocol="atomic",
+        )
+    )
+    result = benchmark(
+        check_sequential, outcome.history, want_witness=False
+    )
+    assert result.ok

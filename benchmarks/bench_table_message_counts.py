@@ -1,0 +1,90 @@
+"""E6 — THE HEADLINE TABLE: Section 4.1 message counts, measured.
+
+Regenerates the paper's central quantitative comparison.  For each
+system size n, the unchanged Figure 6 solver runs on causal memory, the
+atomic-DSM baseline and a central server; measured messages per
+processor per iteration are checked against the paper's formulas:
+
+* causal  == 2n + 6   (exactly, under oracle waiting)
+* atomic  >= 3n + 5   (the paper's lower bound)
+* causal < atomic < central at every n, with a linearly growing gap
+  (i.e. no crossover — causal always wins).
+
+Run with ``pytest benchmarks/bench_table_message_counts.py
+--benchmark-only -s`` to see the rendered table.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    atomic_messages_lower_bound,
+    causal_messages_per_processor,
+)
+from repro.apps import LinearSystem, SynchronousSolver
+from conftest import run_once
+
+SIZES = (2, 4, 8, 12)
+
+
+def run_solver(n: int, protocol: str):
+    system = LinearSystem.random(n, seed=7)
+    return SynchronousSolver(
+        system, protocol=protocol, iterations=8, seed=1
+    ).run()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_causal_solver_matches_2n_plus_6(benchmark, n):
+    result = run_once(benchmark, run_solver, n, "causal")
+    assert result.steady_messages_per_processor == pytest.approx(
+        causal_messages_per_processor(n)
+    )
+    assert result.max_error < 1e-2  # converging, 8 iterations
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_atomic_solver_at_least_3n_plus_5(benchmark, n):
+    result = run_once(benchmark, run_solver, n, "atomic")
+    assert (
+        result.steady_messages_per_processor
+        >= atomic_messages_lower_bound(n)
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_central_solver_worst_of_all(benchmark, n):
+    central = run_once(benchmark, run_solver, n, "central")
+    causal = run_solver(n, "causal")
+    atomic = run_solver(n, "atomic")
+    assert (
+        causal.steady_messages_per_processor
+        < atomic.steady_messages_per_processor
+        < central.steady_messages_per_processor
+    )
+
+
+def test_gap_grows_linearly_no_crossover(benchmark):
+    def measure_gaps():
+        gaps = []
+        for n in SIZES:
+            causal = run_solver(n, "causal").steady_messages_per_processor
+            atomic = run_solver(n, "atomic").steady_messages_per_processor
+            gaps.append((n, causal, atomic, atomic - causal))
+        return gaps
+
+    gaps = run_once(benchmark, measure_gaps)
+    table = Table(
+        ["n", "causal", "2n+6", "atomic", "3n+5 LB", "gap"],
+        title="E6: messages per processor per iteration (measured)",
+    )
+    for n, causal, atomic, gap in gaps:
+        table.add_row(
+            n, causal, causal_messages_per_processor(n),
+            atomic, atomic_messages_lower_bound(n), gap,
+        )
+    print()
+    print(table.render())
+    deltas = [gap for *_rest, gap in gaps]
+    assert all(later > earlier for earlier, later in zip(deltas, deltas[1:]))
+    assert all(gap > 0 for gap in deltas)  # no crossover anywhere

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's
+index (E1–E12).  Benchmarks both *measure* (wall-clock of the simulation
+or checker, via pytest-benchmark) and *assert* the paper's claim, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction's
+acceptance run.
+
+Heavier simulations are run once per benchmark (``pedantic`` with one
+round) — the interesting output is the simulated message counts, not
+wall-clock jitter.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round (expensive simulations)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

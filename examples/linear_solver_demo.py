@@ -1,0 +1,65 @@
+"""The paper's Section 4.1 workload: the synchronous linear solver.
+
+Runs the *same* Figure 6 program on causal DSM, the atomic (coherent)
+DSM baseline and a central server, verifying the solution against
+``numpy.linalg.solve`` and printing the measured messages per processor
+per iteration next to the paper's analytic formulas (2n+6 vs >= 3n+5).
+Then runs the asynchronous (chaotic relaxation) variant that drops the
+handshakes entirely.
+
+Run:
+    python examples/linear_solver_demo.py [n]
+"""
+
+import sys
+
+from repro.analysis import Table, atomic_messages_lower_bound, causal_messages_per_processor
+from repro.apps import AsynchronousSolver, LinearSystem, SynchronousSolver
+
+
+def main(n: int = 8) -> None:
+    system = LinearSystem.random(n, seed=2026)
+    print(f"solving a random strictly diagonally dominant {n}x{n} system\n")
+
+    table = Table(
+        ["memory", "max error", "msgs/proc/iter", "paper formula"],
+        title="Figure 6 solver on three memory models (10 iterations)",
+    )
+    for protocol in ("causal", "atomic", "central"):
+        result = SynchronousSolver(
+            system, protocol=protocol, iterations=10, seed=1
+        ).run()
+        formula = {
+            "causal": f"2n+6 = {causal_messages_per_processor(n)}",
+            "atomic": f">= 3n+5 = {atomic_messages_lower_bound(n)}",
+            "central": "(no caching at all)",
+        }[protocol]
+        table.add_row(
+            protocol,
+            result.max_error,
+            result.steady_messages_per_processor,
+            formula,
+        )
+    print(table.render())
+
+    print("\nasynchronous variant (no handshakes, discard-driven refresh):")
+    for refresh in (1, 4):
+        result = AsynchronousSolver(
+            system, iterations=60, refresh=refresh, seed=1
+        ).run()
+        print(
+            f"  refresh={refresh}: max error {result.max_error:.2e}, "
+            f"{result.steady_messages_per_processor:.1f} msgs/proc/iter"
+        )
+
+    print(
+        "\nshape check: causal beats atomic by "
+        f"~{atomic_messages_lower_bound(n) - causal_messages_per_processor(n)}"
+        " messages/processor/iteration (growing with n), with identical "
+        "numerical results — the paper's Section 4.1 claim."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    main(size)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package,
+which PEP 660 editable installs require; with this shim ``pip install -e .``
+falls back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

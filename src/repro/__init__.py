@@ -1,0 +1,83 @@
+"""repro — a reproduction of *Implementing and Programming Causal
+Distributed Shared Memory* (Hutto, Ahamad, John; ICDCS 1991).
+
+The package provides, end to end:
+
+* a deterministic discrete-event simulator with the paper's assumed
+  reliable FIFO message layer (:mod:`repro.sim`);
+* vector timestamps (:mod:`repro.clocks`);
+* the paper's owner protocol for causal DSM plus three comparison
+  memories — atomic owner DSM, central server, causal-broadcast memory
+  (:mod:`repro.protocols`);
+* executable semantics: live sets and the causal-memory correctness
+  checker, with sequential-consistency / PRAM / coherence checkers for
+  context (:mod:`repro.checker`);
+* the paper's applications — synchronous and asynchronous linear
+  solvers, the distributed dictionary (:mod:`repro.apps`);
+* the message-count analysis and the experiment harness regenerating
+  every figure and the Section 4.1 comparison (:mod:`repro.analysis`,
+  :mod:`repro.harness`).
+
+Quickstart
+----------
+>>> from repro import DSMCluster, check_causal
+>>> cluster = DSMCluster(n_nodes=2, protocol="causal", seed=1)
+>>> def ping(api):
+...     yield api.write("x", 1)
+...     value = yield api.read("x")
+...     return value
+>>> task = cluster.spawn(0, ping)
+>>> cluster.run()
+>>> task.result()
+1
+>>> check_causal(cluster.history()).ok
+True
+"""
+
+from repro.checker import (
+    CausalOrder,
+    History,
+    check_causal,
+    check_coherence,
+    check_pram,
+    check_sequential,
+    live_set,
+    live_values,
+)
+from repro.clocks import LamportClock, VectorClock
+from repro.memory import LocalStore, MemoryEntry, Namespace, location_array
+from repro.protocols import (
+    DSMCluster,
+    DSMNode,
+    LastWriterWins,
+    OwnerFavoured,
+    WriteOutcome,
+)
+from repro.sim import Network, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "Network",
+    "VectorClock",
+    "LamportClock",
+    "Namespace",
+    "location_array",
+    "LocalStore",
+    "MemoryEntry",
+    "DSMCluster",
+    "DSMNode",
+    "WriteOutcome",
+    "LastWriterWins",
+    "OwnerFavoured",
+    "History",
+    "CausalOrder",
+    "live_set",
+    "live_values",
+    "check_causal",
+    "check_sequential",
+    "check_pram",
+    "check_coherence",
+]

@@ -1,0 +1,203 @@
+"""Experiment-result persistence and regression comparison.
+
+``python -m repro all --save results.json`` records every experiment's
+pass flag and data payload; a later run can be compared against the
+saved baseline to catch silent drift in measured quantities (message
+counts are exact in this reproduction, so any delta is a regression).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ResultsStore", "ResultDelta"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce experiment data payloads into JSON-stable structures."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items.sort(key=repr)
+        return items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ResultDelta:
+    """One difference between a baseline and a new run."""
+
+    experiment: str
+    field: str
+    baseline: Any
+    current: Any
+
+    def __str__(self) -> str:
+        return (
+            f"{self.experiment}.{self.field}: "
+            f"{self.baseline!r} -> {self.current!r}"
+        )
+
+
+class ResultsStore:
+    """A collection of experiment outcomes, serializable to JSON.
+
+    Examples
+    --------
+    >>> store = ResultsStore()
+    >>> store.record("fig1", passed=True, data={"concurrent": True})
+    >>> restored = ResultsStore.from_json(store.to_json())
+    >>> restored.passed("fig1")
+    True
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, experiment: str, passed: bool, data: Dict[str, Any]) -> None:
+        """Store one experiment's outcome (overwrites earlier entries)."""
+        self._results[experiment] = {
+            "passed": bool(passed),
+            "data": _jsonable(data),
+        }
+
+    def record_report(self, report) -> None:
+        """Store an :class:`~repro.harness.experiments.ExperimentReport`."""
+        self.record(report.exp_id, report.passed, report.data)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def experiments(self) -> List[str]:
+        """Recorded experiment names, sorted."""
+        return sorted(self._results)
+
+    def passed(self, experiment: str) -> bool:
+        """The stored pass flag."""
+        return self._entry(experiment)["passed"]
+
+    def data(self, experiment: str) -> Dict[str, Any]:
+        """The stored data payload."""
+        return self._entry(experiment)["data"]
+
+    def all_passed(self) -> bool:
+        """True iff every recorded experiment passed."""
+        return all(entry["passed"] for entry in self._results.values())
+
+    def _entry(self, experiment: str) -> Dict[str, Any]:
+        try:
+            return self._results[experiment]
+        except KeyError:
+            raise ReproError(f"no recorded result for {experiment!r}") from None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize (sorted keys, stable across runs)."""
+        return json.dumps(self._results, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultsStore":
+        """Deserialize a store produced by :meth:`to_json`."""
+        store = cls()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"malformed results JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ReproError("results JSON must be an object")
+        for experiment, entry in payload.items():
+            if not isinstance(entry, dict) or "passed" not in entry:
+                raise ReproError(f"malformed entry for {experiment!r}")
+            store._results[experiment] = {
+                "passed": bool(entry["passed"]),
+                "data": entry.get("data", {}),
+            }
+        return store
+
+    def save(self, path) -> None:
+        """Write to a file."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "ResultsStore":
+        """Read from a file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def compare(self, baseline: "ResultsStore") -> List[ResultDelta]:
+        """Differences against a baseline store.
+
+        Reports pass-flag changes, data-field changes, and experiments
+        present in exactly one of the two stores.
+        """
+        deltas: List[ResultDelta] = []
+        names = set(self.experiments) | set(baseline.experiments)
+        for name in sorted(names):
+            if name not in self._results:
+                deltas.append(
+                    ResultDelta(name, "<presence>", "recorded", "missing")
+                )
+                continue
+            if name not in baseline._results:
+                deltas.append(
+                    ResultDelta(name, "<presence>", "missing", "recorded")
+                )
+                continue
+            mine, theirs = self._results[name], baseline._results[name]
+            if mine["passed"] != theirs["passed"]:
+                deltas.append(
+                    ResultDelta(name, "passed", theirs["passed"], mine["passed"])
+                )
+            deltas.extend(
+                self._compare_data(name, theirs["data"], mine["data"])
+            )
+        return deltas
+
+    @staticmethod
+    def _compare_data(
+        name: str, baseline: Any, current: Any, prefix: str = "data"
+    ) -> List[ResultDelta]:
+        deltas: List[ResultDelta] = []
+        if isinstance(baseline, dict) and isinstance(current, dict):
+            for key in sorted(set(baseline) | set(current)):
+                deltas.extend(
+                    ResultsStore._compare_data(
+                        name,
+                        baseline.get(key),
+                        current.get(key),
+                        prefix=f"{prefix}.{key}",
+                    )
+                )
+            return deltas
+        if (
+            isinstance(baseline, list)
+            and isinstance(current, list)
+            and len(baseline) == len(current)
+        ):
+            for index, (old, new) in enumerate(zip(baseline, current)):
+                deltas.extend(
+                    ResultsStore._compare_data(
+                        name, old, new, prefix=f"{prefix}[{index}]"
+                    )
+                )
+            return deltas
+        if baseline != current:
+            deltas.append(ResultDelta(name, prefix, baseline, current))
+        return deltas

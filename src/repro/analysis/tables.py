@@ -1,0 +1,95 @@
+"""Minimal table rendering for reports and EXPERIMENTS.md.
+
+No third-party dependency; fixed-width ASCII with right-aligned numeric
+columns, plus a GitHub-markdown renderer for the documentation files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+class Table:
+    """A small, immutable-ish result table.
+
+    Examples
+    --------
+    >>> t = Table(["n", "causal", "atomic"], title="Messages")
+    >>> t.add_row(4, 14, 17)
+    >>> print(t.render())   # doctest: +ELLIPSIS
+    Messages
+    ...
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (cells are formatted immediately)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _widths(self) -> List[int]:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Fixed-width ASCII rendering."""
+        widths = self._widths()
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            header.ljust(width) for header, width in zip(self.headers, widths)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-markdown rendering (for EXPERIMENTS.md)."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,330 @@
+"""The distributed dictionary of Section 4.2 (the Fischer–Michael problem).
+
+An association table maintained cooperatively by ``n`` processes with
+*no synchronization*: ``insert``, ``delete`` and ``lookup`` never lock
+or handshake.  The representation is the paper's: a two-dimensional
+array ``dict`` with one row per process and ``m`` columns; the
+distinguished value ``FREE`` (the paper's lambda) marks an empty slot.
+
+* ``insert_i(x)`` writes ``x`` into a free slot of *row i* — row ``i``
+  is owned by ``P_i`` and only ``P_i`` writes non-free values there, so
+  concurrent inserts never conflict;
+* ``lookup_i(x)`` scans all rows (ensuring knowledge monotonicity:
+  reading any slot written by ``P_j`` pulls ``P_j``'s causal past into
+  ``P_i``'s view);
+* ``delete_i(x)`` scans for ``x`` and overwrites it with ``FREE`` —
+  possibly in *another process's row*.
+
+The one race — a stale delete writing ``FREE`` over a slot the owner has
+since reused for a new item — is resolved by the paper's policy:
+"writes by the owner are always favored when resolving concurrent
+writes" (:class:`repro.protocols.policies.OwnerFavoured`).  The stale
+delete arrives at the owner with a stamp concurrent to the owner's
+newer insert and is rejected; the dictionary stays correct.
+
+The paper's standing restrictions are the workload's responsibility:
+(R1) inserted items are unique; (R2) a delete follows its corresponding
+insert in the deleter's view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.memory import Namespace, location_array
+from repro.protocols.base import DSMCluster, WriteOutcome
+from repro.protocols.policies import ConflictPolicy, OwnerFavoured
+from repro.sim.latency import LatencyModel
+
+__all__ = [
+    "FREE",
+    "DictionaryView",
+    "DictionaryCluster",
+    "RandomDictionaryRun",
+    "run_random_dictionary",
+]
+
+#: The paper's distinguished free marker (lambda).
+FREE = "λ"
+
+
+@dataclass(frozen=True)
+class DictionaryView:
+    """One process's view of the dictionary at some instant."""
+
+    proc: int
+    items: FrozenSet[Any]
+    slots: Tuple[Tuple[int, int, Any], ...]
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.items
+
+
+class DictionaryCluster:
+    """``n`` dictionary processes over a causal DSM.
+
+    All operation methods are *generators*: drive them from application
+    processes with ``yield from`` (e.g. ``found = yield from
+    dictionary.lookup(api, "k")``).
+
+    Parameters
+    ----------
+    n, m:
+        Rows (processes) and columns (capacity per process).
+    policy:
+        Owner-side concurrent-write resolution; defaults to the paper's
+        :class:`OwnerFavoured`.  Passing
+        :class:`~repro.protocols.policies.LastWriterWins` reproduces the
+        anomaly the policy exists to prevent (a stale delete destroying
+        a newer insert) — used by tests and the E10 benchmark.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        seed: int = 0,
+        policy: Optional[ConflictPolicy] = None,
+        latency: Optional[LatencyModel] = None,
+        record_history: bool = True,
+    ):
+        if n <= 0 or m <= 0:
+            raise ReproError(f"need positive dimensions, got n={n} m={m}")
+        self.n = n
+        self.m = m
+        self.policy = policy if policy is not None else OwnerFavoured()
+        self.cluster = DSMCluster(
+            n_nodes=n,
+            protocol="causal",
+            seed=seed,
+            latency=latency,
+            namespace=Namespace.by_first_index(n),
+            policy=self.policy,
+            initial_value=FREE,
+            record_history=record_history,
+        )
+
+    # ------------------------------------------------------------------
+    # Locations
+    # ------------------------------------------------------------------
+    def slot(self, row: int, column: int) -> str:
+        """The location name of one dictionary slot."""
+        return location_array("dict", row, column)
+
+    # ------------------------------------------------------------------
+    # Operations (generators; paper Section 4.2)
+    # ------------------------------------------------------------------
+    def insert(self, api, item: Any):
+        """Insert ``item`` into a free slot of the caller's own row.
+
+        Only local reads and one local write — zero messages, zero
+        synchronization.  Returns the (row, column) used.
+        """
+        if item == FREE:
+            raise ReproError("cannot insert the free marker itself")
+        row = api.node_id
+        for column in range(self.m):
+            value = yield api.read(self.slot(row, column))
+            if value == FREE:
+                yield api.write(self.slot(row, column), item)
+                return (row, column)
+        raise ReproError(f"row {row} is full (m={self.m})")
+
+    def lookup(self, api, item: Any):
+        """Scan every row; True iff ``item`` is visible in this view."""
+        for row in range(self.n):
+            for column in range(self.m):
+                value = yield api.read(self.slot(row, column))
+                if value == item:
+                    return True
+        return False
+
+    def delete(self, api, item: Any):
+        """Delete ``item`` wherever this view sees it.
+
+        Writes ``FREE`` over every slot currently holding ``item`` in
+        the caller's view.  A write into another process's row may be
+        rejected by the owner-favoured policy if the owner concurrently
+        reused the slot — exactly the safe outcome.  Returns the number
+        of slots this process freed (0 if the item was not visible).
+        """
+        freed = 0
+        for row in range(self.n):
+            for column in range(self.m):
+                value = yield api.read(self.slot(row, column))
+                if value == item:
+                    outcome: WriteOutcome = yield api.write(
+                        self.slot(row, column), FREE
+                    )
+                    if outcome.applied:
+                        freed += 1
+        return freed
+
+    def view(self, api):
+        """The caller's complete current view of the dictionary."""
+        slots: List[Tuple[int, int, Any]] = []
+        items: Set[Any] = set()
+        for row in range(self.n):
+            for column in range(self.m):
+                value = yield api.read(self.slot(row, column))
+                if value != FREE:
+                    slots.append((row, column, value))
+                    items.add(value)
+        return DictionaryView(
+            proc=api.node_id, items=frozenset(items), slots=tuple(slots)
+        )
+
+    def refresh(self, api) -> None:
+        """Discard every cached slot so the next scan fetches fresh copies.
+
+        This is the paper's ``discard``-for-liveness: without it, two
+        processes that cache the whole table and only write their own
+        rows would never see each other's updates.
+        """
+        for row in range(self.n):
+            if row == api.node_id:
+                continue
+            for column in range(self.m):
+                api.discard(self.slot(row, column))
+
+    # ------------------------------------------------------------------
+    # Ground truth (harness-side, not part of the distributed program)
+    # ------------------------------------------------------------------
+    def authoritative_items(self) -> FrozenSet[Any]:
+        """The owners' current rows — the converged contents."""
+        items: Set[Any] = set()
+        for row in range(self.n):
+            node = self.cluster.nodes[row]
+            for column in range(self.m):
+                entry = node.store.get(self.slot(row, column))
+                assert entry is not None
+                if entry.value != FREE:
+                    items.add(entry.value)
+        return frozenset(items)
+
+    # ------------------------------------------------------------------
+    # Cluster passthroughs
+    # ------------------------------------------------------------------
+    def spawn(self, node_id: int, process, *args, name: str = ""):
+        """Spawn an application process on one dictionary node."""
+        return self.cluster.spawn(node_id, process, *args, name=name)
+
+    def run(self, **kwargs) -> None:
+        """Run the simulation to completion."""
+        self.cluster.run(**kwargs)
+
+    @property
+    def stats(self):
+        """Network message statistics."""
+        return self.cluster.stats
+
+    def history(self):
+        """The recorded operation history (checker-ready)."""
+        return self.cluster.history()
+
+
+@dataclass
+class RandomDictionaryRun:
+    """Outcome of :func:`run_random_dictionary`."""
+
+    converged: bool
+    final_views: List[DictionaryView]
+    authoritative: FrozenSet[Any]
+    total_messages: int
+    rejected_writes: int
+    inserts: int
+    deletes: int
+    lookups: int
+    history_is_causal: Optional[bool] = None
+
+
+def run_random_dictionary(
+    n: int = 4,
+    m: int = 6,
+    ops_per_proc: int = 12,
+    seed: int = 0,
+    policy: Optional[ConflictPolicy] = None,
+    check_history: bool = True,
+) -> RandomDictionaryRun:
+    """Drive a random mixed workload and check eventual convergence.
+
+    Each process performs a random sequence of inserts (unique items,
+    R1), lookups, and deletes of items it has seen (R2), then quiesces:
+    it refreshes its cache and takes a final view.  The run *converges*
+    if every final view equals the authoritative owner-row contents.
+    """
+    dictionary = DictionaryCluster(
+        n=n, m=m, seed=seed, policy=policy, record_history=check_history
+    )
+    counters = {"inserts": 0, "deletes": 0, "lookups": 0}
+    final_views: Dict[int, DictionaryView] = {}
+
+    def process(api, proc: int):
+        rng = dictionary.cluster.sim.derived_rng(f"dict-proc-{proc}")
+        next_item = 0
+        seen: List[Any] = []
+        inserted = 0
+        for _ in range(ops_per_proc):
+            choice = rng.random()
+            if choice < 0.45 and inserted < m - 1:
+                item = f"p{proc}k{next_item}"
+                next_item += 1
+                yield from dictionary.insert(api, item)
+                seen.append(item)
+                inserted += 1
+                counters["inserts"] += 1
+            elif choice < 0.75 or not seen:
+                dictionary.refresh(api)
+                probe = (
+                    rng.choice(seen)
+                    if seen and rng.random() < 0.5
+                    else f"p{rng.randrange(n)}k{rng.randrange(max(next_item, 1))}"
+                )
+                found = yield from dictionary.lookup(api, probe)
+                if found and probe not in seen:
+                    seen.append(probe)
+                counters["lookups"] += 1
+            else:
+                victim = rng.choice(seen)
+                seen.remove(victim)
+                yield from dictionary.delete(api, victim)
+                if victim == f"p{proc}k{next_item - 1}":
+                    inserted -= 1
+                counters["deletes"] += 1
+    def snapshot(api, proc: int):
+        # Quiescence: fetch fresh copies of everything and snapshot.
+        dictionary.refresh(api)
+        final_views[proc] = yield from dictionary.view(api)
+
+    for proc in range(n):
+        dictionary.spawn(proc, process, proc, name=f"dict-{proc}")
+    dictionary.run()
+    # All mutators have finished; now every process takes a fresh view.
+    for proc in range(n):
+        dictionary.spawn(proc, snapshot, proc, name=f"dict-view-{proc}")
+    dictionary.run()
+
+    authoritative = dictionary.authoritative_items()
+    views = [final_views[proc] for proc in range(n)]
+    converged = all(view.items == authoritative for view in views)
+    rejected = sum(
+        node.stats.rejected_writes for node in dictionary.cluster.nodes
+    )
+    history_ok: Optional[bool] = None
+    if check_history:
+        from repro.checker import check_causal
+
+        history_ok = check_causal(dictionary.history()).ok
+    return RandomDictionaryRun(
+        converged=converged,
+        final_views=views,
+        authoritative=authoritative,
+        total_messages=dictionary.stats.total,
+        rejected_writes=rejected,
+        inserts=counters["inserts"],
+        deletes=counters["deletes"],
+        lookups=counters["lookups"],
+        history_is_causal=history_ok,
+    )

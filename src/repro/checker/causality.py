@@ -1,0 +1,190 @@
+"""The causality relation over a history.
+
+Section 2 of the paper: causality (``->``) is the union of two rules —
+program order (successive operations of one process) and reads-from (a
+read is caused by the write it reads) — and ``*->`` is the transitive
+closure.  Operations unrelated by ``*->`` are *concurrent*.  Initial
+writes causally precede every operation of every process.
+
+This module materializes ``*->`` once per history as bitset descendant
+maps (one Python int per operation), giving O(1) ``precedes`` queries;
+the live-set computation of Definition 1 then needs one pass over writes
+per read.
+
+A special accessor, :meth:`CausalOrder.precedes_excluding_rf`, computes
+reachability to a read *excluding the reads-from edge established by that
+read itself* — exactly the caveat in the paper's Definition 1.  Because a
+read's only other incoming edges are its program-order predecessor (and
+the initial writes, for a process's first operation), this reduces to
+reachability to those predecessors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.checker.history import History, INIT_PROC, Operation
+from repro.errors import CheckError
+
+__all__ = ["CausalOrder", "CausalityCycleError"]
+
+OpId = Tuple[int, int]
+
+
+class CausalityCycleError(CheckError):
+    """The history's causality relation is cyclic.
+
+    A cyclic ``*->`` means some read reads from a write that causally
+    follows it (e.g. a process reading its *own later* write) — such an
+    execution is trivially incorrect on causal memory, since "writes that
+    causally follow o are never live for o".
+    """
+
+    def __init__(self, cycle_members: List[Operation]):
+        self.cycle_members = cycle_members
+        ops = ", ".join(str(op) for op in cycle_members[:8])
+        suffix = "..." if len(cycle_members) > 8 else ""
+        super().__init__(f"causality relation is cyclic: {ops}{suffix}")
+
+
+class CausalOrder:
+    """Precomputed ``->`` edges and ``*->`` reachability for a history.
+
+    Raises
+    ------
+    CausalityCycleError
+        If program order plus reads-from contains a cycle.
+    """
+
+    def __init__(self, history: History):
+        self.history = history
+        self.ops: List[Operation] = history.operations(include_init=True)
+        self._pos: Dict[OpId, int] = {
+            op.op_id: i for i, op in enumerate(self.ops)
+        }
+        self._succ: List[List[int]] = [[] for _ in self.ops]
+        self._pred_non_rf: List[List[int]] = [[] for _ in self.ops]
+        self._rf_pred: List[Optional[int]] = [None] * len(self.ops)
+        self._build_edges()
+        self._desc: List[int] = self._transitive_closure()
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _build_edges(self) -> None:
+        history = self.history
+        # Rule 1: program order.
+        for ops in history.processes:
+            for earlier, later in zip(ops, ops[1:]):
+                self._add_edge(earlier.op_id, later.op_id, is_rf=False)
+        # Initial writes precede the first operation of every process.
+        for init_write in history.init_writes:
+            for ops in history.processes:
+                if ops:
+                    self._add_edge(init_write.op_id, ops[0].op_id, is_rf=False)
+        # Rule 2: reads-from.
+        for op in self.ops:
+            if op.is_read:
+                source = history.write_by_id(op.read_from)
+                self._add_edge(source.op_id, op.op_id, is_rf=True)
+
+    def _add_edge(self, src: OpId, dst: OpId, is_rf: bool) -> None:
+        i, j = self._pos[src], self._pos[dst]
+        if i == j:
+            raise CausalityCycleError([self.ops[i]])
+        self._succ[i].append(j)
+        if is_rf:
+            # If the reads-from source is also the program-order
+            # predecessor, the program-order edge remains in the
+            # "excluding rf" view — record rf separately.
+            self._rf_pred[j] = i
+        else:
+            self._pred_non_rf[j].append(i)
+
+    # ------------------------------------------------------------------
+    # Transitive closure (bitsets over a topological order)
+    # ------------------------------------------------------------------
+    def _transitive_closure(self) -> List[int]:
+        n = len(self.ops)
+        indegree = [0] * n
+        for succs in self._succ:
+            for j in succs:
+                indegree[j] += 1
+        queue = deque(i for i in range(n) if indegree[i] == 0)
+        topo: List[int] = []
+        while queue:
+            i = queue.popleft()
+            topo.append(i)
+            for j in self._succ[i]:
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    queue.append(j)
+        if len(topo) != n:
+            members = [self.ops[i] for i in range(n) if indegree[i] > 0]
+            raise CausalityCycleError(members)
+        desc = [0] * n
+        for i in reversed(topo):
+            bits = 0
+            for j in self._succ[i]:
+                bits |= desc[j] | (1 << j)
+            desc[i] = bits
+        return desc
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def index_of(self, op: Operation) -> int:
+        """Internal index of an operation (stable across queries)."""
+        try:
+            return self._pos[op.op_id]
+        except KeyError:
+            raise CheckError(f"{op} is not part of this history") from None
+
+    def precedes(self, a: Operation, b: Operation) -> bool:
+        """``a *-> b`` (strict: an operation does not precede itself)."""
+        i, j = self.index_of(a), self.index_of(b)
+        return bool(self._desc[i] >> j & 1)
+
+    def concurrent(self, a: Operation, b: Operation) -> bool:
+        """Neither ``a *-> b`` nor ``b *-> a`` (and ``a != b``)."""
+        if a.op_id == b.op_id:
+            return False
+        return not self.precedes(a, b) and not self.precedes(b, a)
+
+    def precedes_excluding_rf(self, a: Operation, read: Operation) -> bool:
+        """``a *-> read`` in the graph without ``read``'s reads-from edge.
+
+        Definition 1 considers "all the causal relationships in the
+        execution except the reads-from ordering established by o itself".
+        A read's other in-edges are its program-order predecessor and (for
+        first operations) the initial writes, so reachability reduces to
+        reaching one of those.
+        """
+        if not read.is_read:
+            raise CheckError(f"{read} is not a read operation")
+        j = self.index_of(read)
+        i = self.index_of(a)
+        for pred in self._pred_non_rf[j]:
+            if pred == i or bool(self._desc[i] >> pred & 1):
+                return True
+        return False
+
+    def followers(self, op: Operation) -> List[Operation]:
+        """All operations ``b`` with ``op *-> b`` (diagnostics)."""
+        i = self.index_of(op)
+        bits = self._desc[i]
+        return [self.ops[j] for j in _bit_indices(bits)]
+
+    def sort_key(self) -> Dict[OpId, int]:
+        """A topological position per op (for deterministic reports)."""
+        return dict(self._pos)
+
+
+def _bit_indices(bits: int) -> Iterable[int]:
+    index = 0
+    while bits:
+        if bits & 1:
+            yield index
+        bits >>= 1
+        index += 1

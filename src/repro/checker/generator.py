@@ -1,0 +1,78 @@
+"""Random history generation for cross-checker property testing.
+
+The protocol fuzz tests exercise the checkers only on histories real
+protocols can produce; this module generates *arbitrary* histories —
+including inconsistent ones — so properties of the checkers themselves
+(the SC => causal => PRAM => slow implication chain, parser round-trips,
+determinism) can be tested over a much wider input space.
+
+Generation strategy: lay down a random set of unique writes, then assign
+every read a random same-location write (or the initial value) to read
+from.  Nothing guarantees the result is consistent under any model —
+that is the point.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.checker.history import History
+
+__all__ = ["random_history"]
+
+
+def random_history(
+    seed: int,
+    n_procs: int = 3,
+    n_locations: int = 3,
+    ops_per_proc: int = 6,
+    read_fraction: float = 0.5,
+    n_procs_max: Optional[int] = None,
+) -> History:
+    """Generate a random (not necessarily consistent) history.
+
+    Parameters mirror the workload generator's, but reads-from links are
+    chosen uniformly among all writes to the location plus the initial
+    write — histories may violate every consistency model, or none.
+
+    >>> history = random_history(seed=1)
+    >>> history.n_procs
+    3
+    """
+    rng = random.Random(seed)
+    if n_procs_max is not None:
+        n_procs = rng.randint(n_procs, n_procs_max)
+    locations = [f"l{i}" for i in range(n_locations)]
+
+    # First pass: decide op kinds and place writes with unique values.
+    skeleton: List[List[Tuple[str, str]]] = []
+    writes_per_location = {loc: [] for loc in locations}
+    value_counter = 0
+    for proc in range(n_procs):
+        ops: List[Tuple[str, str]] = []
+        for _ in range(ops_per_proc):
+            location = rng.choice(locations)
+            if rng.random() < read_fraction:
+                ops.append(("r", location))
+            else:
+                value_counter += 1
+                writes_per_location[location].append(value_counter)
+                ops.append(("w", location, value_counter))  # type: ignore
+        skeleton.append(ops)
+
+    # Second pass: assign read values among same-location writes + init.
+    rows: List[str] = []
+    for proc, ops in enumerate(skeleton):
+        tokens: List[str] = []
+        for op in ops:
+            if op[0] == "w":
+                _, location, value = op  # type: ignore[misc]
+                tokens.append(f"w({location}){value}")
+            else:
+                location = op[1]
+                candidates = [0] + writes_per_location[location]
+                value = rng.choice(candidates)
+                tokens.append(f"r({location}){value}")
+        rows.append(f"P{proc + 1}: " + " ".join(tokens))
+    return History.parse("\n".join(rows))

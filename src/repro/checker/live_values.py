@@ -1,0 +1,95 @@
+"""Live sets — Definition 1 of the paper.
+
+Given a read ``o = r(x)v`` and a write ``o' = w(x)v'``, the value ``v'``
+is *live* for ``o`` iff either:
+
+1. ``o'`` is concurrent with ``o`` (with the reads-from edge established
+   by ``o`` itself excluded from the causality relation); or
+2. ``o' *-> o`` with no intervening operation ``o'' = a(x)u`` (read or
+   write, ``u`` from a different write) such that ``o' *-> o'' *-> o``.
+
+The initial write of each location participates like any other write, so
+``alpha`` sets can contain the distinguished initial value, matching the
+paper's worked examples (``alpha(r1(z)5) = {0, 5}`` in Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Set
+
+from repro.checker.causality import CausalOrder
+from repro.checker.history import History, Operation
+from repro.errors import CheckError
+
+__all__ = ["live_set", "live_values"]
+
+
+def live_set(
+    history: History,
+    order: CausalOrder,
+    read: Operation,
+) -> List[Operation]:
+    """The writes whose values are live for ``read`` (``alpha(o)`` as ops).
+
+    Returns write operations rather than raw values so callers can
+    distinguish distinct writes of equal values.
+    """
+    if not read.is_read:
+        raise CheckError(f"live_set called on non-read {read}")
+    candidates = history.writes(location=read.location, include_init=True)
+    live: List[Operation] = []
+    for write in candidates:
+        if _is_live(order, write, read, candidates):
+            live.append(write)
+    return live
+
+
+def live_values(
+    history: History,
+    order: CausalOrder,
+    read: Operation,
+) -> Set[Any]:
+    """``alpha(o)`` as a set of values (the form the paper's examples use)."""
+    return {write.value for write in live_set(history, order, read)}
+
+
+def _is_live(
+    order: CausalOrder,
+    write: Operation,
+    read: Operation,
+    same_location_ops_hint: List[Operation],
+) -> bool:
+    # Writes that causally follow the read are never live.
+    if order.precedes(read, write):
+        return False
+    preceding = order.precedes_excluding_rf(write, read)
+    if not preceding:
+        # Not following, not preceding (rf edge excluded): concurrent.
+        return True
+    # Condition 2: no intervening read or write of the same location with
+    # a different value between `write` and `read`.
+    for other in _same_location_ops(order, read.location):
+        if other.op_id == write.op_id or other.op_id == read.op_id:
+            continue
+        if _same_write_source(other, write):
+            continue
+        if order.precedes(write, other) and order.precedes_excluding_rf(
+            other, read
+        ):
+            return False
+    return True
+
+
+def _same_location_ops(order: CausalOrder, location: str) -> List[Operation]:
+    return [op for op in order.ops if op.location == location]
+
+
+def _same_write_source(op: Operation, write: Operation) -> bool:
+    """True if ``op`` is ``write`` itself or a read of ``write``'s value.
+
+    A read of the same write does not overwrite it — only operations
+    carrying a *different* value "serve notice" (paper, Section 2).
+    """
+    if op.is_write:
+        return op.write_id == write.write_id
+    return op.read_from == write.write_id

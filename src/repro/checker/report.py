@@ -1,0 +1,95 @@
+"""One-call classification of a history across every consistency model.
+
+Convenience layer over the individual checkers: classify a history under
+sequential consistency, causal memory, PRAM, slow memory and per-location
+coherence at once, with a rendered table — what the consistency-zoo
+example and downstream users exploring executions actually want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.tables import Table
+from repro.checker.causal_checker import CausalCheckResult, check_causal
+from repro.checker.coherence_checker import check_coherence
+from repro.checker.history import History
+from repro.checker.pram_checker import check_pram
+from repro.checker.sequential_checker import check_sequential
+from repro.checker.slow_memory import check_slow
+
+__all__ = ["ConsistencyProfile", "classify"]
+
+#: Model names in strength order (strongest first, for display).
+MODELS = ("sequential", "causal", "pram", "slow", "coherent")
+
+
+@dataclass(frozen=True)
+class ConsistencyProfile:
+    """The verdicts of every checker on one history."""
+
+    sequential: bool
+    causal: bool
+    pram: bool
+    slow: bool
+    coherent: bool
+    causal_detail: CausalCheckResult
+
+    def as_dict(self) -> Dict[str, bool]:
+        """Model name -> admitted."""
+        return {
+            "sequential": self.sequential,
+            "causal": self.causal,
+            "pram": self.pram,
+            "slow": self.slow,
+            "coherent": self.coherent,
+        }
+
+    def strongest(self) -> Optional[str]:
+        """The strongest model (in the linear chain) admitting the
+        history, or None if even slow memory rejects it."""
+        for model in ("sequential", "causal", "pram", "slow"):
+            if self.as_dict()[model]:
+                return model
+        return None
+
+    def hierarchy_consistent(self) -> bool:
+        """Sanity: SC => causal => PRAM => slow must hold."""
+        chain = [self.sequential, self.causal, self.pram, self.slow]
+        return all(not a or b for a, b in zip(chain, chain[1:]))
+
+    def render(self, title: str = "consistency profile") -> str:
+        """A small yes/no table."""
+        table = Table(["model", "admitted"], title=title)
+        for model, verdict in self.as_dict().items():
+            table.add_row(model, "yes" if verdict else "no")
+        return table.render()
+
+
+def classify(history: History, max_states: int = 2_000_000) -> ConsistencyProfile:
+    """Run every checker on ``history``.
+
+    Examples
+    --------
+    >>> h = History.parse('''
+    ...     P1: r(y)0 w(x)1 r(y)0
+    ...     P2: r(x)0 w(y)1 r(x)0
+    ... ''')
+    >>> profile = classify(h)
+    >>> profile.strongest()
+    'causal'
+    >>> profile.hierarchy_consistent()
+    True
+    """
+    causal_detail = check_causal(history)
+    return ConsistencyProfile(
+        sequential=check_sequential(
+            history, max_states=max_states, want_witness=False
+        ).ok,
+        causal=causal_detail.ok,
+        pram=check_pram(history, max_states=max_states).ok,
+        slow=check_slow(history).ok,
+        coherent=check_coherence(history, max_states=max_states).ok,
+        causal_detail=causal_detail,
+    )

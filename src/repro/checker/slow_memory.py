@@ -1,0 +1,102 @@
+"""Slow memory — the authors' prior weak model (Hutto & Ahamad 1990).
+
+The paper builds on the authors' ICDCS 1990 "slow memory" (its citation
+[10]), the weakest location-relative consistency they consider: reads of
+a location must respect the *per-writer, per-location* write order.
+Formally, for every reader ``P_i``, location ``x`` and writer ``P_j``,
+the sequence of ``P_j``-written values that ``P_i`` reads from ``x``
+must be a (possibly stuttering) subsequence of ``P_j``'s writes to ``x``
+in program order — a reader may be arbitrarily stale, but never observes
+one writer's values regressing.  Additionally, as in all these models, a
+process observes its own writes immediately (local writes are totally
+ordered with its reads by program order).
+
+Causal memory is strictly stronger than slow memory; the zoo example
+and property tests use this checker to exhibit both the implication and
+the separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.checker.history import History, INIT_PROC
+
+__all__ = ["SlowCheckResult", "check_slow"]
+
+
+@dataclass(frozen=True)
+class SlowCheckResult:
+    """Verdict plus the first offending read per failing process."""
+
+    ok: bool
+    failures: Tuple[Tuple[int, int], ...]  # op_ids of offending reads
+
+    def explain(self) -> str:
+        if self.ok:
+            return "execution satisfies slow memory"
+        ops = ", ".join(f"(P{p + 1}, op {i})" for p, i in self.failures)
+        return f"execution violates slow memory at: {ops}"
+
+
+def check_slow(history: History) -> SlowCheckResult:
+    """Check the slow-memory condition.
+
+    Two requirements per reader process:
+
+    1. per-(location, writer) monotonicity of observed write positions;
+    2. read-your-writes: after ``P_i`` writes ``x``, ``P_i`` never again
+       observes an *earlier own* write of ``x`` (its own-writer position
+       is pinned by its latest write).
+
+    Examples
+    --------
+    >>> h = History.parse('''
+    ...     P1: w(x)1 w(x)2
+    ...     P2: r(x)2 r(x)1
+    ... ''')
+    >>> check_slow(h).ok
+    False
+    """
+    # Position of each write in its writer's per-location sequence.
+    position: Dict[Tuple, int] = {}
+    per_writer_counts: Dict[Tuple[int, str], int] = {}
+    for ops in history.processes:
+        for op in ops:
+            if op.is_write:
+                key = (op.proc, op.location)
+                per_writer_counts[key] = per_writer_counts.get(key, 0) + 1
+                position[op.write_id] = per_writer_counts[key]
+    for init in history.init_writes:
+        position[init.write_id] = 0
+
+    failures: List[Tuple[int, int]] = []
+    for proc, ops in enumerate(history.processes):
+        # Latest observed position per (location, writer).
+        seen: Dict[Tuple[str, int], int] = {}
+        own_writes: Dict[str, int] = {}
+        for op in ops:
+            if op.is_write:
+                own_writes[op.location] = position[op.write_id]
+                continue
+            source = history.write_by_id(op.read_from)
+            writer = source.proc
+            pos = position[op.read_from]
+            key = (op.location, writer)
+            if pos < seen.get(key, -1):
+                failures.append(op.op_id)
+                continue
+            if (
+                writer == proc
+                and pos < own_writes.get(op.location, -1)
+            ):
+                failures.append(op.op_id)
+                continue
+            if writer == INIT_PROC and op.location in own_writes:
+                # Reading the initial value after writing it yourself
+                # regresses your own write.
+                failures.append(op.op_id)
+                continue
+            seen[key] = pos
+    return SlowCheckResult(ok=not failures, failures=tuple(failures))

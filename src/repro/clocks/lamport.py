@@ -1,0 +1,55 @@
+"""Scalar Lamport clocks.
+
+Included for contrast with vector clocks: a Lamport clock [Lamport 1978]
+orders events consistently with causality but cannot *detect* concurrency —
+two concurrent writes always end up with comparable scalar stamps.  The
+owner protocol needs to recognise concurrent writes (the invalidation rule
+fires only on strictly-older writestamps, and the dictionary's resolution
+policy fires only on concurrent ones), which is why the paper uses vector
+timestamps.  Tests use this class to demonstrate that distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClockError
+
+__all__ = ["LamportClock"]
+
+
+@dataclass(frozen=True)
+class LamportClock:
+    """An immutable scalar logical clock value.
+
+    Examples
+    --------
+    >>> c = LamportClock(0)
+    >>> c = c.tick()
+    >>> c = c.receive(LamportClock(10))
+    >>> c.time
+    11
+    """
+
+    time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ClockError(f"Lamport time must be non-negative, got {self.time}")
+
+    def tick(self) -> "LamportClock":
+        """Advance for a local event."""
+        return LamportClock(self.time + 1)
+
+    def receive(self, other: "LamportClock") -> "LamportClock":
+        """Merge with an incoming stamp: max of the two, plus one."""
+        return LamportClock(max(self.time, other.time) + 1)
+
+    def __lt__(self, other: "LamportClock") -> bool:
+        return self.time < other.time
+
+    def __le__(self, other: "LamportClock") -> bool:
+        return self.time <= other.time
+
+    def __str__(self) -> str:
+        return f"L{self.time}"

@@ -1,0 +1,163 @@
+"""Vector clocks (the paper's writestamps).
+
+The paper's operations on vector times (Section 3.1):
+
+* ``increment(VT_i)`` — add one to the *i*-th component;
+* ``update(VT, VT')`` — component-wise maximum;
+* comparison — ``VT < VT'`` iff every component is less-or-equal and at
+  least one is strictly less.  Two vector times not ordered by ``<`` in
+  either direction are *concurrent*; the writes they stamp are concurrent.
+
+Instances are immutable and hashable, so they can key dictionaries (e.g. a
+history checker mapping writestamps to operations) and be shared freely
+between nodes in the simulator without defensive copying.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.errors import ClockError
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """An immutable, fixed-dimension vector time.
+
+    Parameters
+    ----------
+    components:
+        Iterable of non-negative ints, one per process.
+
+    Examples
+    --------
+    >>> a = VectorClock.zero(3).increment(0)
+    >>> b = VectorClock.zero(3).increment(1)
+    >>> a.concurrent_with(b)
+    True
+    >>> a.update(b)
+    VectorClock((1, 1, 0))
+    >>> a < a.increment(0)
+    True
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[int]):
+        comps = tuple(int(c) for c in components)
+        if not comps:
+            raise ClockError("vector clock must have at least one component")
+        if any(c < 0 for c in comps):
+            raise ClockError(f"negative component in {comps}")
+        self._components = comps
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, dimension: int) -> "VectorClock":
+        """The all-zeros clock of the given dimension."""
+        if dimension <= 0:
+            raise ClockError(f"dimension must be positive, got {dimension}")
+        return cls((0,) * dimension)
+
+    def increment(self, index: int) -> "VectorClock":
+        """A new clock with component ``index`` advanced by one."""
+        self._check_index(index)
+        comps = list(self._components)
+        comps[index] += 1
+        return VectorClock(comps)
+
+    def update(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (the paper's ``update(VT, VT')``)."""
+        self._check_dimension(other)
+        return VectorClock(
+            max(a, b) for a, b in zip(self._components, other._components)
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of components (processes)."""
+        return len(self._components)
+
+    @property
+    def components(self) -> Tuple[int, ...]:
+        """The underlying tuple of components."""
+        return self._components
+
+    def __getitem__(self, index: int) -> int:
+        return self._components[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def sum(self) -> int:
+        """Total event count reflected in this clock."""
+        return sum(self._components)
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def __le__(self, other: "VectorClock") -> bool:
+        self._check_dimension(other)
+        return all(a <= b for a, b in zip(self._components, other._components))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        """Strict vector order: <= in every component, < in at least one."""
+        return self <= other and self._components != other._components
+
+    def __ge__(self, other: "VectorClock") -> bool:
+        self._check_dimension(other)
+        return all(a >= b for a, b in zip(self._components, other._components))
+
+    def __gt__(self, other: "VectorClock") -> bool:
+        return self >= other and self._components != other._components
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other (the stamps are concurrent)."""
+        return not self <= other and not other <= self
+
+    def comparable_with(self, other: "VectorClock") -> bool:
+        """True iff the clocks are ordered one way or the other."""
+        return self <= other or other <= self
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._components == other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._components!r})"
+
+    def __str__(self) -> str:
+        return "<" + ",".join(str(c) for c in self._components) + ">"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_dimension(self, other: "VectorClock") -> None:
+        if not isinstance(other, VectorClock):
+            raise ClockError(f"cannot combine VectorClock with {type(other).__name__}")
+        if other.dimension != self.dimension:
+            raise ClockError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._components):
+            raise ClockError(
+                f"index {index} out of range for dimension {len(self._components)}"
+            )

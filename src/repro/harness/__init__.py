@@ -1,0 +1,15 @@
+"""Experiment registry and command-line interface.
+
+Every figure and quantitative claim in the paper maps to one experiment
+function here (the E-numbers follow DESIGN.md's experiment index).  The
+same functions back the pytest benchmarks, the ``repro`` CLI, and the
+generation of EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "run_experiment"]

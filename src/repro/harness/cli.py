@@ -1,0 +1,124 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the experiment registry, plus ``all`` to
+run the full reproduction and ``list`` to enumerate experiments.
+
+Examples
+--------
+::
+
+    repro list
+    repro fig2
+    repro solver-table
+    repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Implementing and Programming Causal "
+            "Distributed Shared Memory' (ICDCS 1991).  Each subcommand "
+            "regenerates one figure/table of the paper."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="write a JSON results store (see repro.analysis.results)",
+    )
+    all_parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare against a previously saved results store",
+    )
+    sub.add_parser(
+        "report",
+        help="run every experiment and print EXPERIMENTS.md markdown",
+    )
+    for name, factory in sorted(EXPERIMENTS.items()):
+        doc = (factory.__doc__ or "").strip().splitlines()
+        help_text = doc[0] if doc else name
+        sub.add_parser(name, help=help_text)
+    return parser
+
+
+def _run_one(name: str, store=None) -> bool:
+    started = time.perf_counter()
+    report = run_experiment(name)
+    elapsed = time.perf_counter() - started
+    status = "PASS" if report.passed else "FAIL"
+    print(f"[{report.exp_id}] {report.title}")
+    print(f"status: {status}  ({elapsed:.2f}s)")
+    print()
+    print(report.text)
+    print()
+    if store is not None:
+        store.record(name, report.passed, report.data)
+    return report.passed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name, factory in sorted(EXPERIMENTS.items()):
+            doc = (factory.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"  {name:20s} {summary}")
+        print("  all                  run every experiment")
+        return 0
+    if args.command == "report":
+        from repro.harness.experiments import generate_markdown_report
+
+        print(generate_markdown_report())
+        return 0
+    if args.command == "all":
+        from repro.analysis.results import ResultsStore
+
+        store = ResultsStore()
+        failures = [
+            name
+            for name in sorted(EXPERIMENTS)
+            if not _run_one(name, store=store)
+        ]
+        if args.save:
+            store.save(args.save)
+            print(f"results written to {args.save}")
+        if args.baseline:
+            deltas = store.compare(ResultsStore.load(args.baseline))
+            if deltas:
+                print(f"{len(deltas)} drift(s) vs baseline:")
+                for delta in deltas:
+                    print(f"  {delta}")
+            else:
+                print("no drift vs baseline")
+        if failures:
+            print(f"FAILED experiments: {', '.join(failures)}")
+            return 1
+        print("all experiments passed")
+        return 0
+    return 0 if _run_one(args.command) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

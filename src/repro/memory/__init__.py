@@ -1,0 +1,19 @@
+"""Per-node memories and the shared namespace.
+
+The paper partitions the shared causal memory among processors: "the
+locations assigned to a processor are owned by that processor" and other
+locations may be cached, with the distinguished value ``bottom`` marking an
+invalid (not cached) location (Section 3.1).
+
+:mod:`repro.memory.namespace`
+    Maps locations to owners and (optionally) groups locations into pages —
+    the paper's "scaling the unit of sharing to a page" enhancement.
+:mod:`repro.memory.local_store`
+    The local memory ``M_i`` of a node: value/writestamp/writer triples,
+    the cached set ``C_i``, and the invalidation rule used by the protocol.
+"""
+
+from repro.memory.local_store import LocalStore, MemoryEntry
+from repro.memory.namespace import Namespace, location_array
+
+__all__ = ["Namespace", "location_array", "LocalStore", "MemoryEntry"]

@@ -1,0 +1,210 @@
+"""The local memory ``M_i`` of one processor.
+
+Each processor ``P_i`` has a local memory indexed by location names.  Owned
+locations are always present (the owner holds the current value); other
+locations may hold cached copies or the distinguished value ``bottom``
+(modelled here as *absence* of an entry), meaning invalid/not cached
+(paper, Section 3.1).  ``C_i`` — the set of currently cached locations — is
+exactly :meth:`LocalStore.cached_locations`.
+
+Every entry is a ``(value, writestamp, writer)`` triple.  The writer id is
+an extension over the paper's ``(value, VT)`` pair, needed by the
+owner-favoured conflict-resolution policy of the dictionary application
+(Section 4.2): the owner must recognise that the stored concurrent value
+was written by itself.
+
+The store also enforces the paper's invariant that "the locations owned by
+a processor can never be invalidated by that processor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.clocks import VectorClock
+from repro.errors import MemoryError_
+from repro.memory.namespace import Namespace
+
+__all__ = ["MemoryEntry", "LocalStore", "INITIAL_WRITER"]
+
+#: Writer id used for the distinguished initial writes that, per the paper,
+#: "precede all operations in any process sequence".
+INITIAL_WRITER = -1
+
+
+@dataclass(frozen=True)
+class MemoryEntry:
+    """One location's value, its writestamp, and who wrote it."""
+
+    value: Any
+    stamp: VectorClock
+    writer: int
+
+    def older_than(self, stamp: VectorClock) -> bool:
+        """Strictly older under the vector order (the invalidation test)."""
+        return self.stamp < stamp
+
+
+class LocalStore:
+    """``M_i``: owned locations plus a cache of remote locations.
+
+    Parameters
+    ----------
+    node_id:
+        This processor's id (the ``i`` in ``M_i``).
+    namespace:
+        Shared ownership/unit map.
+    n_nodes:
+        Vector-clock dimension, used to synthesize initial entries.
+    initial_value:
+        The distinguished value all locations are initialised to; the
+        paper's examples use 0.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        namespace: Namespace,
+        n_nodes: int,
+        initial_value: Any = 0,
+    ):
+        self.node_id = node_id
+        self.namespace = namespace
+        self.n_nodes = n_nodes
+        self.initial_value = initial_value
+        self._entries: Dict[str, MemoryEntry] = {}
+        # Counters consumed by benchmarks / experiment reports.
+        self.invalidation_count = 0
+        self.discard_count = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def owns(self, location: str) -> bool:
+        """True iff this node owns ``location``'s unit."""
+        return self.namespace.owns(self.node_id, location)
+
+    def get(self, location: str) -> Optional[MemoryEntry]:
+        """The entry for ``location``, or None if invalid (``bottom``).
+
+        Owned locations are never ``bottom``: a never-written owned
+        location yields the distinguished initial entry (zero writestamp),
+        reflecting the paper's assumption of initial writes preceding all
+        operations.
+        """
+        entry = self._entries.get(location)
+        if entry is None and self.owns(location):
+            entry = self.initial_entry()
+            self._entries[location] = entry
+        return entry
+
+    def initial_entry(self) -> MemoryEntry:
+        """The entry representing the distinguished initial write."""
+        return MemoryEntry(
+            value=self.initial_value,
+            stamp=VectorClock.zero(self.n_nodes),
+            writer=INITIAL_WRITER,
+        )
+
+    def is_valid(self, location: str) -> bool:
+        """True iff reading ``location`` needs no remote message."""
+        return self.owns(location) or location in self._entries
+
+    def cached_locations(self) -> Set[str]:
+        """``C_i``: locations cached here (present but not owned)."""
+        return {loc for loc in self._entries if not self.owns(loc)}
+
+    def owned_locations(self) -> Set[str]:
+        """Owned locations that have an explicit entry."""
+        return {loc for loc in self._entries if self.owns(loc)}
+
+    def locations_in_unit(self, unit: str) -> List[str]:
+        """Present locations belonging to the given sharing unit."""
+        return [
+            loc for loc in self._entries if self.namespace.unit(loc) == unit
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(self, location: str, entry: MemoryEntry) -> None:
+        """Install a value (a local write, a reply, or a serviced WRITE)."""
+        self._entries[location] = entry
+
+    def invalidate(self, location: str) -> None:
+        """Set ``M_i[location] := bottom``.  Owned locations never can be."""
+        if self.owns(location):
+            raise MemoryError_(
+                f"node {self.node_id} cannot invalidate owned location "
+                f"{location!r}"
+            )
+        if location in self._entries:
+            del self._entries[location]
+            self.invalidation_count += 1
+
+    def invalidate_older_than(
+        self,
+        stamp: VectorClock,
+        keep: Optional[Iterable[str]] = None,
+    ) -> List[str]:
+        """Figure 4's invalidation sweep.
+
+        Invalidate every cached location whose writestamp is strictly less
+        than ``stamp`` (``M_i[y].VT < VT'``).  Locations the namespace marks
+        read-only, and any in ``keep``, survive.  When page granularity is
+        in use, an entire unit is invalidated as soon as any of its entries
+        is older (conservative, hence still correct).
+
+        Returns the list of invalidated locations (for tracing).
+        """
+        keep_set = set(keep or ())
+        doomed_units: Set[str] = set()
+        for location in self.cached_locations():
+            if location in keep_set or self.namespace.is_read_only(location):
+                continue
+            entry = self._entries[location]
+            if entry.older_than(stamp):
+                doomed_units.add(self.namespace.unit(location))
+        invalidated: List[str] = []
+        if not doomed_units:
+            return invalidated
+        for location in list(self.cached_locations()):
+            if location in keep_set or self.namespace.is_read_only(location):
+                continue
+            if self.namespace.unit(location) in doomed_units:
+                del self._entries[location]
+                self.invalidation_count += 1
+                invalidated.append(location)
+        return invalidated
+
+    def discard(self, location: str) -> bool:
+        """The paper's ``discard``: drop one cached copy (replacement /
+        liveness).  Returns True if a copy was present.  Owned locations
+        cannot be discarded."""
+        if self.owns(location):
+            raise MemoryError_(
+                f"node {self.node_id} cannot discard owned location {location!r}"
+            )
+        if location in self._entries:
+            del self._entries[location]
+            self.discard_count += 1
+            return True
+        return False
+
+    def discard_all(self) -> int:
+        """Drop the entire cache; returns the number of dropped copies."""
+        cached = list(self.cached_locations())
+        for location in cached:
+            del self._entries[location]
+        self.discard_count += len(cached)
+        return len(cached)
+
+    def __contains__(self, location: str) -> bool:
+        return self.is_valid(location)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LocalStore node={self.node_id} entries={len(self._entries)} "
+            f"cached={len(self.cached_locations())}>"
+        )

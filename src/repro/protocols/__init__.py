@@ -1,0 +1,54 @@
+"""Distributed shared memory protocol engines.
+
+Five memory systems are implemented, all over the same simulator, network
+and local-store substrate, so their message counts are directly comparable:
+
+:mod:`repro.protocols.causal_owner`
+    **The paper's contribution** — the simple owner protocol of Figure 4
+    implementing causal memory, with the enhancements the paper sketches
+    (page granularity, read-only segments, discard policies, programmable
+    concurrent-write resolution).
+:mod:`repro.protocols.atomic_owner`
+    The comparison target of Section 4.1: a Li–Hudak-style coherent DSM
+    where an owner maintains a copyset and every write invalidates all
+    cached copies before completing.
+:mod:`repro.protocols.li_hudak`
+    Li's *actual* dynamic distributed manager (migrating ownership with
+    prob-owner forwarding and path compression) — the full form of the
+    comparator the paper cites as [15].
+:mod:`repro.protocols.central_server`
+    The simplest strongly consistent memory: one server, every operation is
+    a round trip.  A sanity baseline.
+:mod:`repro.protocols.causal_broadcast`
+    An ISIS-style "causal broadcast memory" — each write is causally
+    broadcast and applied on delivery.  The paper's Figure 3 shows this is
+    *not* causal memory; we reproduce the anomaly.
+"""
+
+from repro.protocols.base import DSMCluster, DSMNode, OpStats, WriteOutcome
+from repro.protocols.causal_owner import CausalOwnerNode
+from repro.protocols.atomic_owner import AtomicOwnerNode
+from repro.protocols.central_server import CentralServerClient, CentralServerNode
+from repro.protocols.causal_broadcast import CausalBroadcastNode
+from repro.protocols.li_hudak import LiHudakNode
+from repro.protocols.policies import (
+    ConflictPolicy,
+    LastWriterWins,
+    OwnerFavoured,
+)
+
+__all__ = [
+    "DSMCluster",
+    "DSMNode",
+    "OpStats",
+    "WriteOutcome",
+    "CausalOwnerNode",
+    "AtomicOwnerNode",
+    "CentralServerNode",
+    "CentralServerClient",
+    "CausalBroadcastNode",
+    "LiHudakNode",
+    "ConflictPolicy",
+    "LastWriterWins",
+    "OwnerFavoured",
+]

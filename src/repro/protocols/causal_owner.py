@@ -1,0 +1,379 @@
+"""The paper's simple owner protocol (Figure 4) — causal DSM.
+
+Every location has a fixed owner.  Reads of owned or cached locations are
+local; a read miss sends ``[READ, x]`` to the owner and blocks for
+``[R_REPLY, x, v', VT']``.  A write to a non-owned location sends
+``[WRITE, x, v, VT_i]`` and blocks until the owner certifies it with
+``[W_REPLY, x, v, VT']``.  Vector timestamps (*writestamps*) are attached
+to every value; whenever a new value is introduced into a local memory —
+by a read reply at the requester, or by a serviced ``WRITE`` at the owner
+— every cached value with a strictly older writestamp is invalidated
+("all cached values that could potentially participate in a violation of
+causality", Section 3).
+
+Faithfulness notes (see DESIGN.md Section 4.2):
+
+* The writer performs **no invalidation sweep** when its ``W_REPLY``
+  arrives — exactly as in Figure 4.  Certification creates no app-level
+  reads-from edge into the writer, so its cached values remain live.
+* The owner stores a certified write with its **merged** vector time, and
+  the writer ends with the same stamp after its final ``update`` — both
+  copies of the write carry one identical, globally unique writestamp.
+* An incoming remote write is never strictly older than the owner's
+  current entry (its own component is always ahead); it either dominates
+  it or is concurrent with it.  Concurrent incoming writes are resolved
+  by the configured :class:`~repro.protocols.policies.ConflictPolicy` —
+  Figure 4 verbatim corresponds to
+  :class:`~repro.protocols.policies.LastWriterWins`; the dictionary
+  application of Section 4.2 uses
+  :class:`~repro.protocols.policies.OwnerFavoured`.
+
+Paper enhancements implemented as options:
+
+* **Page granularity** — supply a paged
+  :class:`~repro.memory.namespace.Namespace`; replies then carry every
+  location of the unit the owner holds, and invalidation drops whole
+  units.
+* **Read-only segments** — namespace-declared read-only locations are
+  exempt from invalidation (the solver's constant ``A`` and ``b``).
+* **No-cache mode** — read replies are not cached, forcing "a request to
+  the owner on every read", which per Section 3.2 "results in a memory
+  that satisfies atomic correctness".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.clocks import VectorClock
+from repro.errors import ProtocolError
+from repro.memory.local_store import MemoryEntry
+from repro.protocols.base import DSMNode, WriteOutcome
+from repro.protocols.messages import (
+    EntryPayload,
+    ReadReply,
+    ReadRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.protocols.policies import ConflictPolicy, LastWriterWins
+from repro.sim import Future
+
+__all__ = ["CausalOwnerNode"]
+
+
+class CausalOwnerNode(DSMNode):
+    """One processor of the causal DSM (Figure 4 plus options)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        policy: Optional[ConflictPolicy] = None,
+        no_cache: bool = False,
+        unsafe_write_behind: bool = False,
+        **kwargs: Any,
+    ):
+        super().__init__(node_id, **kwargs)
+        self.vt = VectorClock.zero(self.n_nodes)
+        self.policy = policy or LastWriterWins()
+        self.no_cache = no_cache
+        # The "reducing the blocking of processors" temptation: complete
+        # remote writes immediately instead of blocking for W_REPLY.
+        # This is UNSAFE — it breaks causal memory (experiment E13 shows
+        # the violation) — and exists to demonstrate why Figure 4's
+        # writes block.
+        self.unsafe_write_behind = unsafe_write_behind
+        self._pending_reads: Dict[int, Tuple[Future, str, float]] = {}
+        self._pending_writes: Dict[
+            int, Tuple[Optional[Future], str, Any, float]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # r_i(x)v  (Figure 4, first procedure)
+    # ------------------------------------------------------------------
+    def read(self, location: str) -> Future:
+        """Read ``location``; local on a hit, blocking request on a miss."""
+        self.stats.reads += 1
+        future = Future(label=f"read:{self.node_id}:{location}")
+        if self.store.is_valid(location):
+            entry = self.store.get(location)
+            assert entry is not None
+            self.stats.local_read_hits += 1
+            self._record_read(location, entry)
+            future.resolve(entry.value)
+            return future
+        self.stats.remote_reads += 1
+        request_id = self.next_request_id()
+        self._pending_reads[request_id] = (future, location, self.sim.now)
+        owner = self.namespace.owner(location)
+        self.network.send(
+            self.node_id,
+            owner,
+            ReadRequest(
+                request_id=request_id,
+                location=location,
+                unit=self.namespace.unit(location),
+            ),
+        )
+        return future
+
+    # ------------------------------------------------------------------
+    # w_i(x)v  (Figure 4, second procedure)
+    # ------------------------------------------------------------------
+    def write(self, location: str, value: Any) -> Future:
+        """Write ``location``; local if owned, certified by the owner if not."""
+        self.stats.writes += 1
+        self.vt = self.vt.increment(self.node_id)
+        future = Future(label=f"write:{self.node_id}:{location}")
+        if self.store.owns(location):
+            entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
+            self.store.put(location, entry)
+            self.stats.local_writes += 1
+            self._record_write(location, value, entry)
+            self._notify_watchers(location, value)
+            future.resolve(WriteOutcome(location=location, value=value))
+            return future
+        self.stats.remote_writes += 1
+        request_id = self.next_request_id()
+        owner = self.namespace.owner(location)
+        self.network.send(
+            self.node_id,
+            owner,
+            WriteRequest(
+                request_id=request_id,
+                location=location,
+                value=value,
+                stamp=self.vt,
+            ),
+        )
+        if self.unsafe_write_behind:
+            # Complete immediately with a tentative cached entry; the
+            # eventual W_REPLY only merges clocks.  (writer, VT[writer])
+            # identifies the write, so the tentative and the owner's
+            # copies share one identity despite differing merged stamps.
+            self._pending_writes[request_id] = (
+                None, location, value, self.sim.now,
+            )
+            entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
+            if not self.no_cache:
+                self.store.put(location, entry)
+            self._record_write(location, value, entry)
+            future.resolve(WriteOutcome(location=location, value=value))
+            return future
+        self._pending_writes[request_id] = (future, location, value, self.sim.now)
+        return future
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, src: int, message: object) -> None:
+        """Dispatch one delivered message (runs atomically)."""
+        if isinstance(message, ReadRequest):
+            self._serve_read(src, message)
+        elif isinstance(message, WriteRequest):
+            self._serve_write(src, message)
+        elif isinstance(message, ReadReply):
+            self._complete_read(message)
+        elif isinstance(message, WriteReply):
+            self._complete_write(message)
+        else:
+            raise ProtocolError(
+                f"causal node {self.node_id} got unexpected {message!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # [READ, x] at the owner (Figure 4, third procedure)
+    # ------------------------------------------------------------------
+    def _serve_read(self, src: int, msg: ReadRequest) -> None:
+        if not self.store.owns(msg.location):
+            raise ProtocolError(
+                f"node {self.node_id} received READ for {msg.location!r} "
+                f"owned by {self.namespace.owner(msg.location)}"
+            )
+        requested = self.store.get(msg.location)
+        assert requested is not None
+        entries = [
+            EntryPayload(
+                location=msg.location,
+                value=requested.value,
+                stamp=requested.stamp,
+                writer=requested.writer,
+            )
+        ]
+        reply_stamp = requested.stamp
+        # Page granularity: ship every location of the unit the owner holds.
+        for other in self.store.locations_in_unit(msg.unit):
+            if other == msg.location:
+                continue
+            entry = self.store.get(other)
+            assert entry is not None
+            entries.append(
+                EntryPayload(
+                    location=other,
+                    value=entry.value,
+                    stamp=entry.stamp,
+                    writer=entry.writer,
+                )
+            )
+            reply_stamp = reply_stamp.update(entry.stamp)
+        self.network.send(
+            self.node_id,
+            src,
+            ReadReply(
+                request_id=msg.request_id,
+                location=msg.location,
+                entries=tuple(entries),
+                stamp=reply_stamp,
+            ),
+        )
+
+    def _complete_read(self, msg: ReadReply) -> None:
+        future, location, started = self._pending_reads.pop(msg.request_id)
+        # VT_i := update(VT_i, VT')
+        self.vt = self.vt.update(msg.stamp)
+        requested_entry: Optional[MemoryEntry] = None
+        if self.no_cache:
+            for payload in msg.entries:
+                if payload.location == location:
+                    requested_entry = MemoryEntry(
+                        value=payload.value,
+                        stamp=payload.stamp,
+                        writer=payload.writer,
+                    )
+        else:
+            # forall y in C_i : M_i[y].VT < VT'  =>  M_i[y] := bottom
+            installed = [payload.location for payload in msg.entries]
+            self.store.invalidate_older_than(msg.stamp, keep=installed)
+            for payload in msg.entries:
+                entry = MemoryEntry(
+                    value=payload.value,
+                    stamp=payload.stamp,
+                    writer=payload.writer,
+                )
+                self.store.put(payload.location, entry)
+                self._notify_watchers(payload.location, payload.value)
+                if payload.location == location:
+                    requested_entry = entry
+        if requested_entry is None:
+            raise ProtocolError(
+                f"R_REPLY for {location!r} did not contain the location"
+            )
+        self.stats.blocked_time += self.sim.now - started
+        self._record_read(location, requested_entry)
+        future.resolve(requested_entry.value)
+
+    # ------------------------------------------------------------------
+    # [WRITE, x, v, VT] at the owner (Figure 4, fourth procedure)
+    # ------------------------------------------------------------------
+    def _serve_write(self, src: int, msg: WriteRequest) -> None:
+        if not self.store.owns(msg.location):
+            raise ProtocolError(
+                f"node {self.node_id} received WRITE for {msg.location!r} "
+                f"owned by {self.namespace.owner(msg.location)}"
+            )
+        # VT_i := update(VT_i, VT)
+        self.vt = self.vt.update(msg.stamp)
+        current = self.store.get(msg.location)
+        assert current is not None
+        if current.stamp.concurrent_with(msg.stamp):
+            apply = self.policy.apply_concurrent(
+                owner_id=self.node_id,
+                location=msg.location,
+                current=current,
+                incoming_writer=src,
+                incoming_value=msg.value,
+                incoming_stamp=msg.stamp,
+            )
+        else:
+            apply = True  # the incoming stamp dominates the stored one
+        if apply:
+            entry = MemoryEntry(value=msg.value, stamp=self.vt, writer=src)
+            self.store.put(msg.location, entry)
+            self._notify_watchers(msg.location, msg.value)
+            # forall y in C_i : M_i[y].VT < VT_i  =>  M_i[y] := bottom
+            self.store.invalidate_older_than(self.vt)
+            self.network.send(
+                self.node_id,
+                src,
+                WriteReply(
+                    request_id=msg.request_id,
+                    location=msg.location,
+                    value=msg.value,
+                    stamp=self.vt,
+                ),
+            )
+        else:
+            # Policy rejected the concurrent write: no new value enters
+            # this memory, so no sweep; report the surviving entry.
+            self.network.send(
+                self.node_id,
+                src,
+                WriteReply(
+                    request_id=msg.request_id,
+                    location=msg.location,
+                    value=msg.value,
+                    stamp=self.vt,
+                    applied=False,
+                    current=EntryPayload(
+                        location=msg.location,
+                        value=current.value,
+                        stamp=current.stamp,
+                        writer=current.writer,
+                    ),
+                ),
+            )
+
+    def _complete_write(self, msg: WriteReply) -> None:
+        future, location, value, started = self._pending_writes.pop(msg.request_id)
+        # VT_i := update(VT_i, VT')
+        self.vt = self.vt.update(msg.stamp)
+        if future is None:
+            # Write-behind: the operation already completed; just refresh
+            # the tentative cached entry to the canonical stamp.
+            if msg.applied and not self.no_cache:
+                cached = self.store.get(location)
+                if (
+                    cached is not None
+                    and cached.writer == self.node_id
+                    and cached.stamp[self.node_id] == msg.stamp[self.node_id]
+                ):
+                    self.store.put(
+                        location,
+                        MemoryEntry(
+                            value=value, stamp=msg.stamp, writer=self.node_id
+                        ),
+                    )
+            return
+        self.stats.blocked_time += self.sim.now - started
+        if msg.applied:
+            # M_i[x] := (v, VT') — the writer caches its own write under
+            # the owner's merged stamp, which is the canonical writestamp
+            # of this write (identical to the owner's stored copy; in
+            # Figure 4's single-threaded setting VT_i equals VT' here).
+            # No invalidation sweep, faithful to Figure 4.
+            entry = MemoryEntry(value=value, stamp=msg.stamp, writer=self.node_id)
+            if not self.no_cache:
+                self.store.put(location, entry)
+            self._record_write(location, value, entry)
+            future.resolve(WriteOutcome(location=location, value=value))
+            return
+        # Rejected by the owner's policy: the write still occupies its
+        # place in program order (recorded with its own unique stamp);
+        # the owner's surviving entry is introduced like a read reply.
+        self.stats.rejected_writes += 1
+        ghost = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
+        self._record_write(location, value, ghost)
+        assert msg.current is not None
+        survivor = MemoryEntry(
+            value=msg.current.value,
+            stamp=msg.current.stamp,
+            writer=msg.current.writer,
+        )
+        if not self.no_cache:
+            self.store.invalidate_older_than(survivor.stamp, keep=[location])
+            self.store.put(location, survivor)
+            self._notify_watchers(location, survivor.value)
+        future.resolve(
+            WriteOutcome(location=location, value=survivor.value, applied=False)
+        )

@@ -1,0 +1,168 @@
+"""Runtime state-invariant monitoring for the causal owner protocol.
+
+The paper's correctness argument (Section 3.2) rests on state invariants
+that the TR proves inductively.  This module checks the key ones *live*
+against running :class:`~repro.protocols.causal_owner.CausalOwnerNode`
+instances, the way a production system would assert its own data-
+structure health:
+
+I1  **Clock monotonicity** — a node's vector time never decreases.
+I2  **Knowledge covers cache** — every entry in ``M_i`` has a writestamp
+    ``<= VT_i``: a node has merged the stamp of everything it stores.
+I3  **Own-component authority** — ``VT_i[i]`` equals the number of
+    writes ``P_i`` has issued; no one else's merges can advance it.
+I4  **No bottom owned entries** — owned locations are always readable.
+I5  **Writer component positivity** — every non-initial entry's stamp
+    has a positive component for its writer (it reflects that write).
+
+Violations raise :class:`InvariantViolation` (tests) or are collected
+(audit mode).  The monitor can run once, after a simulation, or be
+installed to re-check on a fixed simulated-time period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.clocks import VectorClock
+from repro.errors import ReproError
+from repro.memory.local_store import INITIAL_WRITER
+from repro.protocols.base import DSMCluster
+from repro.protocols.causal_owner import CausalOwnerNode
+
+__all__ = ["InvariantViolation", "Violation", "InvariantMonitor"]
+
+
+class InvariantViolation(ReproError):
+    """A protocol state invariant failed."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant failure."""
+
+    invariant: str
+    node_id: int
+    detail: str
+    time: float
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.invariant}] node {self.node_id} at t={self.time}: "
+            f"{self.detail}"
+        )
+
+
+class InvariantMonitor:
+    """Checks causal-protocol invariants over a cluster's nodes.
+
+    Parameters
+    ----------
+    cluster:
+        A cluster running the ``causal`` protocol.
+    strict:
+        Raise on the first violation (default); otherwise collect into
+        :attr:`violations` for later inspection.
+    """
+
+    def __init__(self, cluster: DSMCluster, strict: bool = True):
+        if cluster.protocol != "causal":
+            raise ReproError(
+                "the invariant monitor understands the causal protocol only"
+            )
+        self.cluster = cluster
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+        self._last_vt: Dict[int, VectorClock] = {}
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def check_now(self) -> List[Violation]:
+        """Run every invariant against every node; return new violations."""
+        found: List[Violation] = []
+        for node in self.cluster.nodes:
+            assert isinstance(node, CausalOwnerNode)
+            found.extend(self._check_node(node))
+        self.checks_run += 1
+        self.violations.extend(found)
+        if found and self.strict:
+            raise InvariantViolation(str(found[0]))
+        return found
+
+    def _check_node(self, node: CausalOwnerNode) -> List[Violation]:
+        found: List[Violation] = []
+        now = self.cluster.sim.now
+
+        def report(invariant: str, detail: str) -> None:
+            found.append(
+                Violation(
+                    invariant=invariant, node_id=node.node_id,
+                    detail=detail, time=now,
+                )
+            )
+
+        # I1: clock monotonicity.
+        previous = self._last_vt.get(node.node_id)
+        if previous is not None and not previous <= node.vt:
+            report("I1", f"vector time regressed: {previous} -> {node.vt}")
+        self._last_vt[node.node_id] = node.vt
+
+        # I3: own component counts this node's writes exactly.
+        if node.vt[node.node_id] != node.stats.writes:
+            report(
+                "I3",
+                f"VT[i]={node.vt[node.node_id]} but issued "
+                f"{node.stats.writes} writes",
+            )
+
+        # Per-entry checks (I2, I4, I5).
+        for location in sorted(
+            node.store.cached_locations() | node.store.owned_locations()
+        ):
+            entry = node.store.get(location)
+            if entry is None:
+                if node.store.owns(location):
+                    report("I4", f"owned location {location!r} is bottom")
+                continue
+            if not entry.stamp <= node.vt:
+                report(
+                    "I2",
+                    f"{location!r} stamped {entry.stamp} beyond VT "
+                    f"{node.vt}",
+                )
+            if entry.writer != INITIAL_WRITER:
+                if not 0 <= entry.writer < node.n_nodes:
+                    report("I5", f"{location!r} has writer {entry.writer}")
+                elif entry.stamp[entry.writer] <= 0:
+                    report(
+                        "I5",
+                        f"{location!r} stamp {entry.stamp} lacks its "
+                        f"writer {entry.writer}'s component",
+                    )
+        return found
+
+    # ------------------------------------------------------------------
+    # Periodic installation
+    # ------------------------------------------------------------------
+    def install(self, period: float = 5.0, until: Optional[float] = None) -> None:
+        """Re-check every ``period`` simulated time units while running."""
+        if period <= 0:
+            raise ReproError(f"period must be positive, got {period}")
+
+        def tick() -> None:
+            self.check_now()
+            if until is None or self.cluster.sim.now + period <= until:
+                if self.cluster.sim.pending_events > 0:
+                    self.cluster.sim.schedule(period, tick)
+
+        self.cluster.sim.schedule(period, tick)
+
+    def summary(self) -> str:
+        """One-line audit summary."""
+        status = "clean" if not self.violations else (
+            f"{len(self.violations)} violations"
+        )
+        return f"{self.checks_run} checks, {status}"

@@ -1,0 +1,54 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the execution environment the paper assumes: a set of
+processors exchanging messages over reliable, per-channel FIFO links, with
+application processes that can *block* on memory operations (the paper's
+read/write operations block until a reply arrives from the owner).
+
+Modules
+-------
+:mod:`repro.sim.kernel`
+    The event queue and simulation clock.
+:mod:`repro.sim.tasks`
+    Futures and generator-based processes ("tasks") with blocking semantics.
+:mod:`repro.sim.latency`
+    Pluggable, deterministic message-latency models.
+:mod:`repro.sim.trace`
+    Message tracing and counting — the measurement instrument behind the
+    paper's message-counting argument (Section 4.1).
+:mod:`repro.sim.network`
+    The reliable FIFO message layer connecting protocol engines.
+:mod:`repro.sim.faults`
+    Fault injection (partitions, delays) used by tests to probe blocking
+    behaviour; the paper's protocol assumes a reliable network, so faults
+    are a test instrument, not part of the reproduced system.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.tasks import Future, Task, TaskScheduler, sleep
+from repro.sim.latency import (
+    ConstantLatency,
+    JitteredLatency,
+    LatencyModel,
+    PerLinkLatency,
+    UniformLatency,
+)
+from repro.sim.network import Network
+from repro.sim.trace import MessageRecord, MessageTrace, NetworkStats
+
+__all__ = [
+    "Simulator",
+    "Future",
+    "Task",
+    "TaskScheduler",
+    "sleep",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "JitteredLatency",
+    "PerLinkLatency",
+    "Network",
+    "MessageRecord",
+    "MessageTrace",
+    "NetworkStats",
+]

@@ -1,0 +1,118 @@
+"""Deterministic message-latency models.
+
+The paper's arguments are about message *counts* and *orderings*, not about
+absolute latency; latency models exist so that executions exhibit realistic
+interleavings (concurrent writes racing to an owner, replies overtaking
+nothing thanks to FIFO clamping in the network layer) and so that blocking
+time can be reported alongside message counts.
+
+All models draw randomness from an RNG owned by the :class:`Network`, keeping
+simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.errors import NetworkError
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "JitteredLatency",
+    "PerLinkLatency",
+]
+
+
+class LatencyModel:
+    """Base class: maps (src, dst, rng) to a one-way message delay."""
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        """Return the delay for one message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable summary used in experiment reports."""
+        return type(self).__name__
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units.
+
+    The default for message-counting experiments: with constant latency the
+    execution is fully determined by the protocol, making counts exact.
+    """
+
+    def __init__(self, value: float = 1.0):
+        if value < 0:
+            raise NetworkError(f"latency must be non-negative, got {value}")
+        self.value = value
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"constant({self.value})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5):
+        if not 0 <= low <= high:
+            raise NetworkError(f"invalid latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform({self.low}, {self.high})"
+
+
+class JitteredLatency(LatencyModel):
+    """A base delay plus exponentially distributed jitter.
+
+    A reasonable stand-in for a lightly loaded LAN of the paper's era: most
+    messages near the base latency, occasional stragglers.
+    """
+
+    def __init__(self, base: float = 1.0, jitter_mean: float = 0.2):
+        if base < 0 or jitter_mean < 0:
+            raise NetworkError("base and jitter_mean must be non-negative")
+        self.base = base
+        self.jitter_mean = jitter_mean
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        if self.jitter_mean == 0:
+            return self.base
+        return self.base + rng.expovariate(1.0 / self.jitter_mean)
+
+    def describe(self) -> str:
+        return f"jittered(base={self.base}, jitter={self.jitter_mean})"
+
+
+class PerLinkLatency(LatencyModel):
+    """Explicit per-(src, dst) delays, e.g. to model a far-away node.
+
+    Unlisted links fall back to ``default``.  Used by tests that need a
+    particular interleaving (for example forcing the Figure 3 broadcast
+    anomaly by making one link slow).
+    """
+
+    def __init__(self, default: float = 1.0, links: Dict[Tuple[int, int], float] | None = None):
+        self.default = default
+        self.links = dict(links or {})
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        return self.links.get((src, dst), self.default)
+
+    def set_link(self, src: int, dst: int, value: float) -> None:
+        """Override the delay of one directed link."""
+        self.links[(src, dst)] = value
+
+    def describe(self) -> str:
+        return f"per-link(default={self.default}, overrides={len(self.links)})"

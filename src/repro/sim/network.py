@@ -1,0 +1,181 @@
+"""The reliable, per-channel FIFO message layer.
+
+Section 3 of the paper assumes "only local memory accesses and reliable,
+ordered message passing between any two processors".  This module provides
+exactly that contract on top of the simulation kernel:
+
+* **Reliable** — every sent message is delivered (unless a test explicitly
+  injects a partition or drop via :mod:`repro.sim.faults`).
+* **Ordered** — per directed pair (src, dst), messages are delivered in send
+  order.  The network enforces this by clamping each delivery time to be no
+  earlier than the previous delivery on the same channel, even under jittery
+  latency models.
+
+Nodes are integers.  Each node registers a single handler; protocol engines
+dispatch internally on the message's ``kind``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.trace import MessageRecord, MessageTrace, NetworkStats
+
+__all__ = ["Network"]
+
+Handler = Callable[[int, object], None]
+
+
+class Network:
+    """Connects protocol engines with reliable FIFO channels.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel supplying time and the RNG.
+    latency:
+        Delay model; defaults to :class:`ConstantLatency` (1 time unit).
+    trace_messages:
+        If True, keep a full :class:`MessageTrace` (tests and examples);
+        counters in :attr:`stats` are always maintained.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        trace_messages: bool = False,
+        send_service_time: float = 0.0,
+    ):
+        if send_service_time < 0:
+            raise NetworkError(
+                f"service time must be non-negative, got {send_service_time}"
+            )
+        self.sim = sim
+        self.latency = latency or ConstantLatency(1.0)
+        #: Per-sender transmit serialization: each outgoing message
+        #: occupies the sender's interface for this long, modelling
+        #: bounded NIC bandwidth.  0 (default) = infinite bandwidth,
+        #: which is the paper's counting model.
+        self.send_service_time = send_service_time
+        self._sender_busy_until: Dict[int, float] = {}
+        self.stats = NetworkStats()
+        self.trace = MessageTrace(enabled=trace_messages)
+        self._handlers: Dict[int, Handler] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self._partitioned: Set[Tuple[int, int]] = set()
+        self._crashed: Set[int] = set()
+        self._drop_rate: float = 0.0
+        self._seq = 0
+        self._rng = sim.derived_rng("network")
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, handler: Handler) -> None:
+        """Attach the message handler for ``node_id``."""
+        if node_id in self._handlers:
+            raise NetworkError(f"node {node_id} registered twice")
+        self._handlers[node_id] = handler
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All registered node ids, sorted."""
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Fault injection (test instrument; the paper assumes a reliable net)
+    # ------------------------------------------------------------------
+    def partition(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        """Silently drop messages on the given link(s)."""
+        self._partitioned.add((src, dst))
+        if bidirectional:
+            self._partitioned.add((dst, src))
+
+    def heal(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        """Undo :meth:`partition` for the given link(s)."""
+        self._partitioned.discard((src, dst))
+        if bidirectional:
+            self._partitioned.discard((dst, src))
+
+    def heal_all(self) -> None:
+        """Remove every partition and crash."""
+        self._partitioned.clear()
+        self._crashed.clear()
+
+    def crash(self, node_id: int) -> None:
+        """Drop all messages to and from ``node_id``."""
+        self._crashed.add(node_id)
+
+    def set_drop_rate(self, rate: float) -> None:
+        """Drop each message independently with probability ``rate``."""
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"drop rate must be in [0, 1], got {rate}")
+        self._drop_rate = rate
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: object) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        The message object must expose a ``kind`` attribute (a short string)
+        used for counting; protocol message dataclasses all do.
+        """
+        if dst not in self._handlers:
+            raise NetworkError(f"message to unregistered node {dst}")
+        if src not in self._handlers:
+            raise NetworkError(f"message from unregistered node {src}")
+        if src == dst:
+            raise NetworkError("a node may not message itself; use local state")
+
+        kind = getattr(message, "kind", type(message).__name__)
+        self._seq += 1
+        seq = self._seq
+        now = self.sim.now
+
+        dropped = (
+            (src, dst) in self._partitioned
+            or src in self._crashed
+            or dst in self._crashed
+            or (self._drop_rate > 0.0 and self._rng.random() < self._drop_rate)
+        )
+        if dropped:
+            record = MessageRecord(
+                seq=seq, src=src, dst=dst, kind=kind, payload=message,
+                sent_at=now, delivered_at=float("inf"), dropped=True,
+            )
+            self.stats.record(record)
+            self.trace.record(record)
+            return
+
+        delay = self.latency.delay(src, dst, self._rng)
+        if delay < 0:
+            raise NetworkError(f"latency model produced negative delay {delay}")
+        transmit_at = now
+        if self.send_service_time > 0:
+            transmit_at = max(now, self._sender_busy_until.get(src, 0.0))
+            self._sender_busy_until[src] = transmit_at + self.send_service_time
+            transmit_at += self.send_service_time
+        deliver_at = transmit_at + delay
+        # FIFO clamp: never deliver before an earlier message on the channel.
+        floor = self._last_delivery.get((src, dst), 0.0)
+        deliver_at = max(deliver_at, floor)
+        self._last_delivery[(src, dst)] = deliver_at
+
+        record = MessageRecord(
+            seq=seq, src=src, dst=dst, kind=kind, payload=message,
+            sent_at=now, delivered_at=deliver_at, dropped=False,
+        )
+        self.stats.record(record)
+        self.trace.record(record)
+        self.sim.schedule_at(deliver_at, lambda: self._deliver(record))
+
+    def _deliver(self, record: MessageRecord) -> None:
+        if record.dst in self._crashed:
+            return  # crashed after send; message lost on arrival
+        handler = self._handlers[record.dst]
+        handler(record.src, record.payload)

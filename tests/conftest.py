@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker.history import History
+
+FIGURE_1 = """
+P1: w(x)1 w(y)2 r(y)2 r(x)1
+P2: w(z)1 r(y)2 r(x)1
+"""
+
+FIGURE_2 = """
+P1: w(x)2 w(y)2 w(y)3 r(z)5 w(x)4
+P2: w(x)1 r(y)3 w(x)7 w(z)5 r(x)4 r(x)9
+P3: r(z)5 w(x)9
+"""
+
+FIGURE_3 = """
+P1: w(x)5 w(y)3
+P2: w(x)2 r(y)3 r(x)5 w(z)4
+P3: r(z)4 r(x)2
+"""
+
+FIGURE_5 = """
+P1: r(y)0 w(x)1 r(y)0
+P2: r(x)0 w(y)1 r(x)0
+"""
+
+
+@pytest.fixture
+def figure1() -> History:
+    """Figure 1 of the paper, parsed."""
+    return History.parse(FIGURE_1)
+
+
+@pytest.fixture
+def figure2() -> History:
+    """Figure 2 of the paper, parsed."""
+    return History.parse(FIGURE_2)
+
+
+@pytest.fixture
+def figure3() -> History:
+    """Figure 3 of the paper, parsed."""
+    return History.parse(FIGURE_3)
+
+
+@pytest.fixture
+def figure5() -> History:
+    """Figure 5 of the paper, parsed."""
+    return History.parse(FIGURE_5)
+
+
+def drive(cluster, node_id, generator_fn, *args, name=""):
+    """Spawn a process and return its task (test shorthand)."""
+    return cluster.spawn(node_id, generator_fn, *args, name=name)

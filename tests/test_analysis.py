@@ -1,0 +1,102 @@
+"""Unit tests for the analytic message model and table rendering."""
+
+import pytest
+
+from repro.analysis.message_model import (
+    atomic_messages_lower_bound,
+    atomic_messages_measured_model,
+    causal_messages_per_processor,
+    central_messages_estimate,
+    crossover_analysis,
+)
+from repro.analysis.tables import Table
+
+
+class TestFormulas:
+    def test_paper_values(self):
+        # Spot-check the closed forms at the paper's own symbols.
+        assert causal_messages_per_processor(4) == 14
+        assert atomic_messages_lower_bound(4) == 17
+
+    def test_causal_always_cheaper_for_n_at_least_2(self):
+        for n in range(2, 200):
+            assert (
+                causal_messages_per_processor(n)
+                < atomic_messages_lower_bound(n)
+            )
+
+    def test_gap_is_n_minus_1(self):
+        for n in (2, 8, 32):
+            gap = atomic_messages_lower_bound(n) - causal_messages_per_processor(n)
+            assert gap == n - 1
+
+    def test_measured_model_dominates_bound(self):
+        for n in range(2, 50):
+            assert (
+                atomic_messages_measured_model(n)
+                >= atomic_messages_lower_bound(n)
+            )
+
+    def test_central_estimate_worst(self):
+        for n in range(2, 50):
+            assert (
+                central_messages_estimate(n)
+                > causal_messages_per_processor(n)
+            )
+
+    def test_crossover_analysis_rows(self):
+        rows = crossover_analysis([2, 4])
+        assert [row.n for row in rows] == [2, 4]
+        assert rows[0].savings_vs_bound == 1
+        assert rows[1].ratio == pytest.approx(17 / 14)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("bb", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(line) == len(lines[2]) for line in lines[2:])
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row(3.14159)
+        table.add_row(1e-9)
+        table.add_row(123456.0)
+        text = table.render()
+        assert "3.14" in text
+        assert "e-09" in text
+        assert "e+05" in text
+
+    def test_nan_rendered_as_dash(self):
+        table = Table(["x"])
+        table.add_row(float("nan"))
+        assert "-" in table.render()
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_extend(self):
+        table = Table(["a", "b"])
+        table.extend([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_markdown_output(self):
+        table = Table(["a", "b"], title="M")
+        table.add_row(1, 2)
+        md = table.to_markdown()
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "| 1 | 2 |" in md
+        assert "**M**" in md
+
+    def test_str_is_render(self):
+        table = Table(["a"])
+        table.add_row(1)
+        assert str(table) == table.render()

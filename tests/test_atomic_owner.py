@@ -1,0 +1,210 @@
+"""Unit tests for the atomic (coherent) owner DSM baseline."""
+
+import pytest
+
+from repro.checker import check_sequential
+from repro.errors import ProtocolError
+from repro.memory import Namespace
+from repro.protocols.base import DSMCluster
+from repro.sim.tasks import sleep
+
+
+def make_cluster(n=3, owners=None):
+    owners = owners or {"x": 0, "y": 1}
+    namespace = Namespace.explicit(n, owners)
+    return DSMCluster(n, protocol="atomic", namespace=namespace)
+
+
+class TestReads:
+    def test_owner_read_local(self):
+        cluster = make_cluster()
+
+        def process(api):
+            return (yield api.read("x"))
+
+        task = cluster.spawn(0, process)
+        cluster.run()
+        assert task.result() == 0
+        assert cluster.stats.total == 0
+
+    def test_miss_fetches_and_caches(self):
+        cluster = make_cluster()
+
+        def process(api):
+            first = yield api.read("x")
+            second = yield api.read("x")
+            return (first, second)
+
+        task = cluster.spawn(1, process)
+        cluster.run()
+        assert task.result() == (0, 0)
+        assert cluster.stats.by_kind == {"A_READ": 1, "A_REPLY": 1}
+
+    def test_miss_registers_in_copyset(self):
+        cluster = make_cluster()
+
+        def process(api):
+            yield api.read("x")
+
+        cluster.spawn(1, process)
+        cluster.run()
+        assert cluster.nodes[0]._copyset["x"] == {1}
+
+
+class TestWrites:
+    def test_owner_write_with_no_copies_is_free(self):
+        cluster = make_cluster()
+
+        def process(api):
+            yield api.write("x", 5)
+
+        cluster.spawn(0, process)
+        cluster.run()
+        assert cluster.stats.total == 0
+        assert cluster.nodes[0].store.get("x").value == 5
+
+    def test_write_invalidates_all_cached_copies(self):
+        cluster = make_cluster()
+
+        def reader(api, delay):
+            yield sleep(cluster.sim, delay)
+            yield api.read("x")
+
+        def writer(api):
+            yield sleep(cluster.sim, 10.0)
+            yield api.write("x", 5)
+
+        cluster.spawn(1, reader, 0.0)
+        cluster.spawn(2, reader, 0.0)
+        cluster.spawn(0, writer)
+        cluster.run()
+        assert cluster.stats.by_kind["INV"] == 2
+        assert cluster.stats.by_kind["INV_ACK"] == 2
+        # Cached copies are gone.
+        assert cluster.nodes[1].store.get("x") is None
+        assert cluster.nodes[2].store.get("x") is None
+
+    def test_remote_write_four_messages_when_no_copies(self):
+        cluster = make_cluster()
+
+        def process(api):
+            yield api.write("x", 5)
+
+        cluster.spawn(1, process)
+        cluster.run()
+        assert cluster.stats.by_kind == {"A_WRITE": 1, "A_ACK": 1}
+        # The writer ends up with a valid cached copy.
+        assert cluster.nodes[1].store.get("x").value == 5
+
+    def test_writer_not_invalidated_by_own_write(self):
+        cluster = make_cluster()
+
+        def reader_writer(api):
+            yield api.read("x")
+            yield api.write("x", 5)
+            before = cluster.stats.total
+            value = yield api.read("x")  # cached copy refreshed by ack
+            assert cluster.stats.total == before
+            return value
+
+        task = cluster.spawn(1, reader_writer)
+        cluster.run()
+        assert task.result() == 5
+
+
+class TestCoherence:
+    def test_no_stale_read_after_write_completes(self):
+        cluster = make_cluster()
+        observed = {}
+
+        def reader(api):
+            yield api.read("x")                 # cache x=0
+            yield sleep(cluster.sim, 20.0)      # well past the write
+            observed["late"] = yield api.read("x")
+
+        def writer(api):
+            yield sleep(cluster.sim, 5.0)
+            yield api.write("x", 1)
+
+        cluster.spawn(1, reader)
+        cluster.spawn(0, writer)
+        cluster.run()
+        assert observed["late"] == 1
+
+    def test_concurrent_writes_serialize_at_owner(self):
+        cluster = make_cluster()
+
+        def writer(api, value):
+            yield api.write("x", value)
+
+        cluster.spawn(1, writer, 10)
+        cluster.spawn(2, writer, 20)
+        cluster.run()
+        final = cluster.nodes[0].store.get("x").value
+        assert final in (10, 20)
+        assert check_sequential(cluster.history(), want_witness=False).ok
+
+    def test_reads_deferred_during_write(self):
+        # A read arriving at the owner mid-invalidation waits for the
+        # write to finish, so it can never return the pre-write value
+        # after the write completed.
+        cluster = make_cluster()
+        results = {}
+
+        def early_reader(api):
+            yield api.read("x")  # joins copyset so the write has work
+
+        def writer(api):
+            yield sleep(cluster.sim, 5.0)
+            yield api.write("x", 1)
+            results["write_done"] = cluster.sim.now
+
+        def racing_reader(api):
+            yield sleep(cluster.sim, 5.5)  # lands mid-invalidation
+            results["value"] = yield api.read("x")
+            results["read_done"] = cluster.sim.now
+
+        cluster.spawn(1, early_reader)
+        cluster.spawn(0, writer)
+        cluster.spawn(2, racing_reader)
+        cluster.run()
+        assert results["value"] == 1
+
+    def test_fuzzed_histories_are_sequentially_consistent(self):
+        from repro.apps.workload import WorkloadConfig, run_random_execution
+
+        for seed in range(6):
+            outcome = run_random_execution(
+                WorkloadConfig(
+                    n_nodes=3, n_locations=3, ops_per_proc=12,
+                    seed=seed, protocol="atomic",
+                )
+            )
+            assert check_sequential(
+                outcome.history, want_witness=False
+            ).ok, f"seed {seed} produced a non-SC atomic execution"
+
+
+class TestErrors:
+    def test_stray_ack_rejected(self):
+        from repro.protocols.messages import InvalidateAck
+
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.nodes[0].handle_message(
+                1, InvalidateAck(request_id=99, location="x")
+            )
+
+    def test_unexpected_message_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.nodes[0].handle_message(1, object())
+
+    def test_read_request_to_non_owner_rejected(self):
+        from repro.protocols.messages import AtomicReadRequest
+
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.nodes[1].handle_message(
+                0, AtomicReadRequest(request_id=1, location="x")
+            )

@@ -1,0 +1,126 @@
+"""Tests for the bounded-bandwidth (send serialization) network option."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class Ping:
+    kind: ClassVar[str] = "PING"
+    seq: int
+
+
+def make_net(service=0.5, n=3):
+    sim = Simulator()
+    net = Network(
+        sim, latency=ConstantLatency(1.0), trace_messages=True,
+        send_service_time=service,
+    )
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        net.register(
+            i, lambda src, msg, i=i: inboxes[i].append((sim.now, msg))
+        )
+    return sim, net, inboxes
+
+
+class TestSerialization:
+    def test_burst_serializes_on_sender_nic(self):
+        sim, net, inboxes = make_net(service=0.5)
+        for seq in range(4):
+            net.send(0, 1, Ping(seq))
+        sim.run()
+        times = [t for t, _ in inboxes[1]]
+        # Transmissions at 0.5, 1.0, 1.5, 2.0; +1 latency each.
+        assert times == [1.5, 2.0, 2.5, 3.0]
+
+    def test_zero_service_time_is_unchanged(self):
+        sim, net, inboxes = make_net(service=0.0)
+        for seq in range(4):
+            net.send(0, 1, Ping(seq))
+        sim.run()
+        assert [t for t, _ in inboxes[1]] == [1.0] * 4
+
+    def test_different_senders_do_not_contend(self):
+        sim, net, inboxes = make_net(service=1.0)
+        net.send(0, 2, Ping(1))
+        net.send(1, 2, Ping(2))
+        sim.run()
+        times = sorted(t for t, _ in inboxes[2])
+        assert times == [2.0, 2.0]  # each sender's own NIC
+
+    def test_fifo_preserved_under_service_time(self):
+        sim, net, inboxes = make_net(service=0.3)
+        for seq in range(10):
+            net.send(0, 1, Ping(seq))
+        sim.run()
+        assert [m.seq for _, m in inboxes[1]] == list(range(10))
+
+    def test_nic_frees_up_over_time(self):
+        sim, net, inboxes = make_net(service=1.0)
+        net.send(0, 1, Ping(1))
+        sim.run()
+        first = inboxes[1][0][0]
+        net.send(0, 1, Ping(2))  # NIC long idle: no extra queueing
+        sim.run()
+        second = inboxes[1][1][0]
+        assert second - first == pytest.approx(sim.now - sim.now + 2.0, abs=2.0)
+        assert second == first + 2.0
+
+    def test_negative_service_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            Network(sim, send_service_time=-1.0)
+
+
+class TestProtocolUnderBandwidthLimit:
+    def test_causal_protocol_still_correct(self):
+        from repro.checker import check_causal
+        from repro.protocols.base import DSMCluster
+
+        cluster = DSMCluster(3, protocol="causal", seed=2)
+        cluster.network.send_service_time = 0.4
+
+        def process(api, proc):
+            rng = cluster.sim.derived_rng(f"bw-{proc}")
+            counter = 0
+            for _ in range(15):
+                location = f"loc{rng.randrange(3)}"
+                if rng.random() < 0.5:
+                    yield api.read(location)
+                else:
+                    counter += 1
+                    yield api.write(location, (proc, counter))
+
+        for proc in range(3):
+            cluster.spawn(proc, process, proc)
+        cluster.run()
+        assert check_causal(cluster.history()).ok
+
+    def test_bandwidth_limit_slows_completion(self):
+        from repro.protocols.base import DSMCluster
+
+        def run(service):
+            cluster = DSMCluster(2, protocol="causal", seed=2)
+            cluster.network.send_service_time = service
+
+            def chatter(api):
+                for i in range(20):
+                    yield api.write("remote", i)
+                    api.discard("remote")
+                    yield api.read("remote")
+
+            # Ensure location is remote for node 1:
+            owner = cluster.namespace.owner("remote")
+            cluster.spawn(1 - owner, chatter)
+            cluster.run()
+            return cluster.sim.now
+
+        assert run(2.0) > run(0.0)

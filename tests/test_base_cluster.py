@@ -1,0 +1,137 @@
+"""Unit tests for DSMCluster wiring and configuration validation."""
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.protocols.base import DSMCluster, OpStats
+from repro.protocols.policies import OwnerFavoured
+
+
+class TestConfiguration:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            DSMCluster(2, protocol="paxos")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ProtocolError):
+            DSMCluster(0)
+
+    def test_no_cache_only_for_causal(self):
+        with pytest.raises(ProtocolError):
+            DSMCluster(2, protocol="atomic", no_cache=True)
+
+    def test_policy_only_for_causal(self):
+        with pytest.raises(ProtocolError):
+            DSMCluster(2, protocol="central", policy=OwnerFavoured())
+
+    def test_each_protocol_builds(self):
+        for protocol in ("causal", "atomic", "central", "broadcast"):
+            cluster = DSMCluster(2, protocol=protocol)
+            assert len(cluster.nodes) == 2
+
+    def test_central_has_server(self):
+        cluster = DSMCluster(2, protocol="central")
+        assert cluster.server is not None
+        assert cluster.server.node_id == 2
+
+    def test_non_central_has_no_server(self):
+        assert DSMCluster(2, protocol="causal").server is None
+
+
+class TestSpawnAndRun:
+    def test_spawn_names_default_to_function_and_node(self):
+        cluster = DSMCluster(2)
+
+        def my_process(api):
+            return 1
+            yield  # pragma: no cover
+
+        task = cluster.spawn(1, my_process)
+        assert task.name == "my_process@1"
+
+    def test_spawn_passes_extra_args(self):
+        cluster = DSMCluster(2)
+
+        def process(api, a, b):
+            return a + b
+            yield  # pragma: no cover
+
+        task = cluster.spawn(0, process, 2, 3)
+        cluster.run()
+        assert task.result() == 5
+
+    def test_run_detects_deadlock(self):
+        cluster = DSMCluster(2)
+        from repro.sim import Future
+
+        def stuck(api):
+            yield Future()
+
+        cluster.spawn(0, stuck)
+        from repro.errors import DeadlockError
+
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+    def test_run_until_skips_deadlock_check(self):
+        cluster = DSMCluster(2)
+        from repro.sim import Future
+
+        def stuck(api):
+            yield Future()
+
+        cluster.spawn(0, stuck)
+        cluster.run(until=5.0)  # no exception
+
+
+class TestMeasurementSurfaces:
+    def test_node_stats_keyed_by_node(self):
+        cluster = DSMCluster(3)
+        stats = cluster.node_stats()
+        assert set(stats) == {0, 1, 2}
+        assert all(isinstance(s, OpStats) for s in stats.values())
+
+    def test_opstats_as_dict(self):
+        stats = OpStats(reads=3, writes=2)
+        as_dict = stats.as_dict()
+        assert as_dict["reads"] == 3
+        assert "blocked_time" in as_dict
+
+    def test_history_requires_recording(self):
+        cluster = DSMCluster(2, record_history=False)
+        with pytest.raises(SimulationError):
+            cluster.history()
+
+    def test_history_covers_all_nodes(self):
+        cluster = DSMCluster(2)
+
+        def process(api):
+            yield api.write("x", 1)
+
+        cluster.spawn(0, process)
+        cluster.run()
+        history = cluster.history()
+        assert history.n_procs == 2
+        assert len(history.processes[0]) == 1
+        assert history.processes[1] == []
+
+    def test_watch_unsupported_for_broadcast_cluster(self):
+        cluster = DSMCluster(2, protocol="broadcast")
+        with pytest.raises(ProtocolError):
+            cluster.watch("x", lambda v: True)
+
+    def test_same_seed_reproduces_message_totals(self):
+        def run(seed):
+            cluster = DSMCluster(3, seed=seed)
+
+            def process(api, me):
+                yield api.write(f"k{me}", me)
+                for other in range(3):
+                    yield api.read(f"k{other}")
+
+            for node in range(3):
+                cluster.spawn(node, process, node)
+            cluster.run()
+            return cluster.stats.total
+
+        assert run(5) == run(5)

@@ -1,0 +1,100 @@
+"""Unit tests for the causal-memory correctness checker (Definition 2)."""
+
+import pytest
+
+from repro.checker.causal_checker import check_causal
+from repro.checker.history import History
+
+
+class TestPaperFigures:
+    def test_figure1_is_causal(self, figure1):
+        assert check_causal(figure1).ok
+
+    def test_figure2_is_causal(self, figure2):
+        result = check_causal(figure2)
+        assert result.ok
+        assert result.violations == []
+
+    def test_figure3_is_not_causal(self, figure3):
+        result = check_causal(figure3)
+        assert not result.ok
+        violating = [v.read.op_id for v in result.violations]
+        assert (2, 1) in violating  # r3(x)2
+
+    def test_figure3_violation_live_set(self, figure3):
+        # 2 is not in alpha(r3(x)2): the read of x=5 served notice.
+        result = check_causal(figure3)
+        assert result.alpha(2, 1) == {5}
+
+    def test_figure5_is_causal(self, figure5):
+        assert check_causal(figure5).ok
+
+
+class TestViolationsAndCycles:
+    def test_stale_read_after_notice_is_violation(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2
+            P2: r(x)2 r(x)1
+        """)
+        result = check_causal(history)
+        assert not result.ok
+        assert result.violations[0].read.op_id == (1, 1)
+
+    def test_cycle_reported_not_raised(self):
+        history = History.parse("P1: r(x)1 w(x)1")
+        result = check_causal(history)
+        assert not result.ok
+        assert result.cycle is not None
+        assert "cyclic" in result.explain()
+
+    def test_reading_own_writes_in_order_is_causal(self):
+        history = History.parse("P1: w(x)1 r(x)1 w(x)2 r(x)2")
+        assert check_causal(history).ok
+
+    def test_monotone_reads_of_concurrent_writes(self):
+        # Different readers may order concurrent writes differently.
+        history = History.parse("""
+            P1: w(x)1
+            P2: w(x)2
+            P3: r(x)1 r(x)2
+            P4: r(x)2 r(x)1
+        """)
+        assert check_causal(history).ok
+
+    def test_flip_flop_between_concurrent_writes_is_violation(self):
+        # But one reader flip-flopping back violates the notice rule.
+        history = History.parse("""
+            P1: w(x)1
+            P2: w(x)2
+            P3: r(x)1 r(x)2 r(x)1
+        """)
+        assert not check_causal(history).ok
+
+    def test_empty_history_is_causal(self):
+        assert check_causal(History.parse("P1: w(x)1")).ok
+
+
+class TestResultAPI:
+    def test_alpha_accessor(self, figure2):
+        result = check_causal(figure2)
+        assert result.alpha(0, 3) == {0, 5}
+
+    def test_verdict_for_unknown_read(self, figure2):
+        result = check_causal(figure2)
+        with pytest.raises(KeyError):
+            result.verdict_for(0, 0)  # a write, not a read
+
+    def test_explain_lists_every_read(self, figure2):
+        text = check_causal(figure2).explain()
+        assert text.count("alpha") == len(figure2.reads())
+        assert "execution is causal" in text
+
+    def test_explain_flags_violations(self, figure3):
+        text = check_causal(figure3).explain()
+        assert "NOT causal" in text
+        assert "VIOLATION" in text
+
+    def test_verdict_explain_format(self, figure2):
+        verdict = check_causal(figure2).verdict_for(0, 3)
+        assert "alpha" in verdict.explain()
+        assert "ok" in verdict.explain()

@@ -1,0 +1,127 @@
+"""Unit tests for the central-server memory."""
+
+import pytest
+
+from repro.checker import check_sequential
+from repro.errors import ProtocolError
+from repro.protocols.base import DSMCluster
+
+
+def make_cluster(n=2):
+    return DSMCluster(n, protocol="central")
+
+
+class TestRPC:
+    def test_read_is_two_messages(self):
+        cluster = make_cluster()
+
+        def process(api):
+            return (yield api.read("x"))
+
+        task = cluster.spawn(0, process)
+        cluster.run()
+        assert task.result() == 0
+        assert cluster.stats.by_kind == {"CS_READ": 1, "CS_REPLY": 1}
+
+    def test_write_is_two_messages(self):
+        cluster = make_cluster()
+
+        def process(api):
+            outcome = yield api.write("x", 3)
+            return outcome
+
+        task = cluster.spawn(0, process)
+        cluster.run()
+        assert task.result().applied
+        assert cluster.stats.by_kind == {"CS_WRITE": 1, "CS_REPLY": 1}
+
+    def test_no_caching_every_read_pays(self):
+        cluster = make_cluster()
+
+        def process(api):
+            yield api.read("x")
+            yield api.read("x")
+
+        cluster.spawn(0, process)
+        cluster.run()
+        assert cluster.stats.count("CS_READ") == 2
+
+    def test_write_visible_to_other_client(self):
+        cluster = make_cluster()
+
+        def writer(api):
+            yield api.write("x", 42)
+
+        def reader(api):
+            from repro.sim.tasks import sleep
+
+            yield sleep(cluster.sim, 10.0)
+            return (yield api.read("x"))
+
+        cluster.spawn(0, writer)
+        task = cluster.spawn(1, reader)
+        cluster.run()
+        assert task.result() == 42
+
+    def test_discard_is_noop(self):
+        cluster = make_cluster()
+        assert cluster.nodes[0].discard("x") is False
+
+
+class TestServer:
+    def test_server_holds_authoritative_state(self):
+        cluster = make_cluster()
+
+        def writer(api):
+            yield api.write("x", 9)
+
+        cluster.spawn(0, writer)
+        cluster.run()
+        assert cluster.server.store.get("x").value == 9
+
+    def test_server_refuses_app_operations(self):
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.server.read("x")
+        with pytest.raises(ProtocolError):
+            cluster.server.write("x", 1)
+
+    def test_server_rejects_unknown_message(self):
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.server.handle_message(0, object())
+
+    def test_client_rejects_unknown_message(self):
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.nodes[0].handle_message(2, object())
+
+    def test_watch_routes_to_server(self):
+        cluster = make_cluster()
+        seen = []
+
+        def observer(api):
+            value = yield cluster.watch("x", lambda v: v == 5)
+            seen.append(value)
+
+        def writer(api):
+            yield api.write("x", 5)
+
+        cluster.spawn(1, observer)
+        cluster.spawn(0, writer)
+        cluster.run()
+        assert seen == [5]
+
+
+class TestConsistency:
+    def test_fuzzed_histories_sequentially_consistent(self):
+        from repro.apps.workload import WorkloadConfig, run_random_execution
+
+        for seed in range(5):
+            outcome = run_random_execution(
+                WorkloadConfig(
+                    n_nodes=3, n_locations=3, ops_per_proc=10,
+                    seed=seed, protocol="central",
+                )
+            )
+            assert check_sequential(outcome.history, want_witness=False).ok

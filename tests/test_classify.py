@@ -1,0 +1,50 @@
+"""Tests for the one-call consistency classifier."""
+
+from repro.checker import History, classify, random_history
+
+
+class TestClassify:
+    def test_figure5_profile(self, figure5):
+        profile = classify(figure5)
+        assert profile.as_dict() == {
+            "sequential": False,
+            "causal": True,
+            "pram": True,
+            "slow": True,
+            "coherent": True,
+        }
+        assert profile.strongest() == "causal"
+
+    def test_figure3_profile(self, figure3):
+        profile = classify(figure3)
+        assert not profile.causal
+        assert profile.pram  # broadcast-ish behaviour is PRAM
+        assert profile.strongest() == "pram"
+
+    def test_figure2_is_sequential(self, figure2):
+        assert classify(figure2).strongest() == "sequential"
+
+    def test_nothing_admits_regression(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2
+            P2: r(x)2 r(x)1
+        """)
+        profile = classify(history)
+        assert profile.strongest() is None
+        assert not profile.coherent
+
+    def test_hierarchy_consistent_over_random_histories(self):
+        for seed in range(60):
+            history = random_history(
+                seed=seed, n_procs=3, n_locations=2, ops_per_proc=5
+            )
+            assert classify(history).hierarchy_consistent(), history.to_text()
+
+    def test_render_mentions_every_model(self, figure5):
+        text = classify(figure5).render()
+        for model in ("sequential", "causal", "pram", "slow", "coherent"):
+            assert model in text
+
+    def test_causal_detail_available(self, figure2):
+        profile = classify(figure2)
+        assert profile.causal_detail.alpha(0, 3) == {0, 5}

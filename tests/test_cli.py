@@ -1,0 +1,80 @@
+"""Unit tests for the repro CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCLI:
+    def test_list_returns_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "solver-table" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out
+        assert "status: PASS" in out
+
+    def test_figure2_output_contains_live_sets(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha(r1(z)5)" in out
+
+    def test_unknown_command_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-experiment"])
+
+    def test_write_behind_experiment_runs(self, capsys):
+        assert main(["write-behind"]) == 0
+        assert "E13" in capsys.readouterr().out
+
+
+class TestSaveAndBaseline:
+    def _quick_registry(self, monkeypatch):
+        """Shrink the registry so `all` stays fast in unit tests."""
+        import repro.harness.cli as cli_module
+        from repro.harness.experiments import EXPERIMENTS
+
+        small = {name: EXPERIMENTS[name] for name in ("fig1", "fig2")}
+        monkeypatch.setattr(cli_module, "EXPERIMENTS", small)
+
+    def test_all_with_save_writes_results(self, tmp_path, capsys, monkeypatch):
+        self._quick_registry(monkeypatch)
+        path = tmp_path / "results.json"
+        assert main(["all", "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "results written" in out
+        from repro.analysis.results import ResultsStore
+
+        store = ResultsStore.load(path)
+        assert store.passed("fig1") and store.passed("fig2")
+
+    def test_all_with_matching_baseline_reports_no_drift(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._quick_registry(monkeypatch)
+        path = tmp_path / "baseline.json"
+        main(["all", "--save", str(path)])
+        capsys.readouterr()
+        assert main(["all", "--baseline", str(path)]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_all_with_stale_baseline_reports_drift(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._quick_registry(monkeypatch)
+        from repro.analysis.results import ResultsStore
+
+        stale = ResultsStore()
+        stale.record("fig1", passed=False, data={})
+        path = tmp_path / "stale.json"
+        stale.save(path)
+        main(["all", "--baseline", str(path)])
+        assert "drift" in capsys.readouterr().out

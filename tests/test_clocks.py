@@ -1,0 +1,166 @@
+"""Unit tests for vector clocks (writestamps) and Lamport clocks."""
+
+import pytest
+
+from repro.clocks import LamportClock, VectorClock
+from repro.errors import ClockError
+
+
+class TestVectorClockConstruction:
+    def test_zero(self):
+        clock = VectorClock.zero(3)
+        assert clock.components == (0, 0, 0)
+        assert clock.dimension == 3
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock.zero(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock(())
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock((1, -1))
+
+    def test_components_coerced_to_int(self):
+        assert VectorClock((1.0, 2.0)).components == (1, 2)
+
+
+class TestVectorClockOperations:
+    def test_increment_is_functional(self):
+        base = VectorClock.zero(3)
+        bumped = base.increment(1)
+        assert base.components == (0, 0, 0)
+        assert bumped.components == (0, 1, 0)
+
+    def test_increment_out_of_range(self):
+        with pytest.raises(ClockError):
+            VectorClock.zero(2).increment(5)
+
+    def test_update_is_componentwise_max(self):
+        a = VectorClock((3, 0, 2))
+        b = VectorClock((1, 5, 2))
+        assert a.update(b).components == (3, 5, 2)
+
+    def test_update_dimension_mismatch(self):
+        with pytest.raises(ClockError):
+            VectorClock.zero(2).update(VectorClock.zero(3))
+
+    def test_update_with_non_clock(self):
+        with pytest.raises(ClockError):
+            VectorClock.zero(2).update((1, 2))  # type: ignore[arg-type]
+
+    def test_sum(self):
+        assert VectorClock((1, 2, 3)).sum() == 6
+
+    def test_indexing_and_iteration(self):
+        clock = VectorClock((4, 5))
+        assert clock[0] == 4
+        assert list(clock) == [4, 5]
+        assert len(clock) == 2
+
+
+class TestVectorClockOrdering:
+    """The paper's order: VT < VT' iff <= everywhere and < somewhere."""
+
+    def test_strictly_less(self):
+        assert VectorClock((1, 2)) < VectorClock((1, 3))
+
+    def test_equal_is_not_less(self):
+        clock = VectorClock((1, 2))
+        assert not clock < VectorClock((1, 2))
+        assert clock <= VectorClock((1, 2))
+
+    def test_concurrent_stamps(self):
+        a = VectorClock((1, 0))
+        b = VectorClock((0, 1))
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+        assert not a < b and not b < a
+        assert not a.comparable_with(b)
+
+    def test_comparable(self):
+        a = VectorClock((1, 1))
+        b = VectorClock((2, 1))
+        assert a.comparable_with(b)
+        assert b > a
+        assert b >= a
+
+    def test_not_concurrent_with_self(self):
+        clock = VectorClock((1, 2))
+        assert not clock.concurrent_with(clock)
+
+    def test_increment_strictly_increases(self):
+        clock = VectorClock((1, 2, 3))
+        assert clock < clock.increment(0)
+
+    def test_equality_and_hash(self):
+        assert VectorClock((1, 2)) == VectorClock((1, 2))
+        assert hash(VectorClock((1, 2))) == hash(VectorClock((1, 2)))
+        assert VectorClock((1, 2)) != VectorClock((2, 1))
+
+    def test_equality_with_other_types(self):
+        assert VectorClock((1,)) != (1,)
+
+    def test_str_and_repr(self):
+        clock = VectorClock((1, 2))
+        assert str(clock) == "<1,2>"
+        assert "VectorClock" in repr(clock)
+
+    def test_comparison_dimension_mismatch(self):
+        with pytest.raises(ClockError):
+            _ = VectorClock((1,)) < VectorClock((1, 2))
+
+
+class TestProtocolScenario:
+    """The write-certification stamp dance of Figure 4."""
+
+    def test_nonlocal_write_stamps_agree(self):
+        # Writer P0 increments and sends; owner P1 merges and stores;
+        # writer merges the reply.  Both copies carry one stamp.
+        writer = VectorClock.zero(2).increment(0)
+        owner = VectorClock((0, 4))
+        owner_after = owner.update(writer)
+        writer_after = writer.update(owner_after)
+        assert writer_after == owner_after
+
+    def test_incoming_write_never_older_than_stored(self):
+        # The writer's own component is always ahead of anything the
+        # owner has stored, so an incoming stamp is never strictly less.
+        stored = VectorClock((3, 7))
+        incoming = VectorClock((4, 2))  # writer 0's increment to 4
+        assert not incoming < stored
+
+
+class TestLamportClock:
+    def test_tick(self):
+        assert LamportClock(0).tick().time == 1
+
+    def test_receive_takes_max_plus_one(self):
+        assert LamportClock(3).receive(LamportClock(10)).time == 11
+        assert LamportClock(10).receive(LamportClock(3)).time == 11
+
+    def test_ordering(self):
+        assert LamportClock(1) < LamportClock(2)
+        assert LamportClock(2) <= LamportClock(2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ClockError):
+            LamportClock(-1)
+
+    def test_str(self):
+        assert str(LamportClock(4)) == "L4"
+
+    def test_cannot_detect_concurrency(self):
+        """Why Figure 4 needs vectors: concurrent events get comparable
+        scalar stamps, so a Lamport-stamped owner protocol could not
+        tell a concurrent write from an older one."""
+        a = LamportClock(0).tick()   # event at P0
+        b = LamportClock(0).tick().tick()  # independent events at P1
+        # Truly concurrent, yet scalar stamps impose an order:
+        assert a < b
+        va = VectorClock.zero(2).increment(0)
+        vb = VectorClock.zero(2).increment(1).increment(1)
+        assert va.concurrent_with(vb)

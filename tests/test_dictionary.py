@@ -1,0 +1,239 @@
+"""Unit/integration tests for the distributed dictionary (Section 4.2)."""
+
+import pytest
+
+from repro.apps.dictionary import (
+    FREE,
+    DictionaryCluster,
+    run_random_dictionary,
+)
+from repro.checker import check_causal
+from repro.errors import ReproError
+from repro.harness.scenarios import run_dictionary_delete_race
+from repro.protocols.policies import LastWriterWins, OwnerFavoured
+from repro.sim.tasks import sleep
+
+
+def run_one(dictionary, node_id, script):
+    """Drive a generator-method script on one node; return its result."""
+
+    def process(api):
+        result = yield from script(api)
+        return result
+
+    task = dictionary.spawn(node_id, process)
+    dictionary.run()
+    return task.result()
+
+
+class TestBasicOperations:
+    def test_insert_then_lookup_same_process(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+
+        def script(api):
+            yield from dictionary.insert(api, "apple")
+            found = yield from dictionary.lookup(api, "apple")
+            return found
+
+        assert run_one(dictionary, 0, script) is True
+
+    def test_insert_uses_own_row(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+
+        def script(api):
+            slot = yield from dictionary.insert(api, "apple")
+            return slot
+
+        row, column = run_one(dictionary, 1, script)
+        assert row == 1 and column == 0
+
+    def test_insert_is_message_free(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+
+        def script(api):
+            yield from dictionary.insert(api, "apple")
+
+        run_one(dictionary, 0, script)
+        assert dictionary.stats.total == 0
+
+    def test_insert_skips_occupied_slots(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+
+        def script(api):
+            first = yield from dictionary.insert(api, "a")
+            second = yield from dictionary.insert(api, "b")
+            return (first, second)
+
+        slots = run_one(dictionary, 0, script)
+        assert slots == ((0, 0), (0, 1))
+
+    def test_row_full_raises(self):
+        dictionary = DictionaryCluster(n=1, m=2)
+
+        def script(api):
+            yield from dictionary.insert(api, "a")
+            yield from dictionary.insert(api, "b")
+            yield from dictionary.insert(api, "c")
+
+        with pytest.raises(ReproError, match="full"):
+            run_one(dictionary, 0, script)
+
+    def test_inserting_free_marker_rejected(self):
+        dictionary = DictionaryCluster(n=1, m=2)
+
+        def script(api):
+            yield from dictionary.insert(api, FREE)
+
+        with pytest.raises(ReproError):
+            run_one(dictionary, 0, script)
+
+    def test_delete_own_item(self):
+        dictionary = DictionaryCluster(n=1, m=3)
+
+        def script(api):
+            yield from dictionary.insert(api, "a")
+            freed = yield from dictionary.delete(api, "a")
+            found = yield from dictionary.lookup(api, "a")
+            return (freed, found)
+
+        assert run_one(dictionary, 0, script) == (1, False)
+
+    def test_delete_missing_item_frees_nothing(self):
+        dictionary = DictionaryCluster(n=1, m=3)
+
+        def script(api):
+            return (yield from dictionary.delete(api, "ghost"))
+
+        assert run_one(dictionary, 0, script) == 0
+
+    def test_slot_reuse_after_delete(self):
+        dictionary = DictionaryCluster(n=1, m=2)
+
+        def script(api):
+            yield from dictionary.insert(api, "a")
+            yield from dictionary.delete(api, "a")
+            slot = yield from dictionary.insert(api, "b")
+            return slot
+
+        assert run_one(dictionary, 0, script) == (0, 0)
+
+
+class TestCrossProcessVisibility:
+    def test_lookup_sees_remote_insert(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+        sim = dictionary.cluster.sim
+        results = {}
+
+        def inserter(api):
+            yield from dictionary.insert(api, "apple")
+
+        def seeker(api):
+            yield sleep(sim, 5.0)
+            results["found"] = yield from dictionary.lookup(api, "apple")
+
+        dictionary.spawn(0, inserter)
+        dictionary.spawn(1, seeker)
+        dictionary.run()
+        assert results["found"] is True
+
+    def test_remote_delete_applies_when_causally_after(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+        sim = dictionary.cluster.sim
+        results = {}
+
+        def inserter(api):
+            yield from dictionary.insert(api, "apple")
+
+        def deleter(api):
+            yield sleep(sim, 5.0)
+            freed = yield from dictionary.delete(api, "apple")
+            results["freed"] = freed
+
+        dictionary.spawn(0, inserter)
+        dictionary.spawn(1, deleter)
+        dictionary.run()
+        assert results["freed"] == 1
+        assert dictionary.authoritative_items() == frozenset()
+
+    def test_stale_view_needs_refresh(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+        sim = dictionary.cluster.sim
+        results = {}
+
+        def seeker(api):
+            found = yield from dictionary.lookup(api, "apple")  # caches FREE
+            yield sleep(sim, 10.0)
+            results["stale"] = yield from dictionary.lookup(api, "apple")
+            dictionary.refresh(api)
+            results["fresh"] = yield from dictionary.lookup(api, "apple")
+
+        def inserter(api):
+            yield sleep(sim, 5.0)
+            yield from dictionary.insert(api, "apple")
+
+        dictionary.spawn(1, seeker)
+        dictionary.spawn(0, inserter)
+        dictionary.run()
+        assert results["stale"] is False   # frozen cached view
+        assert results["fresh"] is True    # discard restored liveness
+
+
+class TestDeleteRace:
+    def test_owner_favoured_protects_new_insert(self):
+        outcome = run_dictionary_delete_race(OwnerFavoured())
+        assert outcome.new_item_survived
+        assert outcome.delete_was_rejected
+        assert outcome.survivor_items == frozenset({"y"})
+
+    def test_last_writer_wins_loses_new_insert(self):
+        outcome = run_dictionary_delete_race(LastWriterWins())
+        assert not outcome.new_item_survived
+        assert outcome.survivor_items == frozenset()
+
+    def test_race_history_is_causal_either_way(self):
+        for policy in (OwnerFavoured(), LastWriterWins()):
+            assert run_dictionary_delete_race(policy).history_is_causal
+
+    def test_default_policy_is_owner_favoured(self):
+        dictionary = DictionaryCluster(n=2, m=2)
+        assert isinstance(dictionary.policy, OwnerFavoured)
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_views_converge(self, seed):
+        run = run_random_dictionary(n=3, m=6, ops_per_proc=10, seed=seed)
+        assert run.converged, (
+            f"views {[sorted(v.items) for v in run.final_views]} vs "
+            f"authoritative {sorted(run.authoritative)}"
+        )
+
+    def test_histories_are_causal(self):
+        run = run_random_dictionary(n=3, m=6, ops_per_proc=10, seed=5)
+        assert run.history_is_causal
+
+    def test_counters_reported(self):
+        run = run_random_dictionary(n=3, m=6, ops_per_proc=10, seed=5)
+        assert run.inserts > 0
+        assert run.total_messages > 0
+
+
+class TestValidation:
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ReproError):
+            DictionaryCluster(n=0, m=3)
+        with pytest.raises(ReproError):
+            DictionaryCluster(n=2, m=0)
+
+    def test_view_lists_slots(self):
+        dictionary = DictionaryCluster(n=2, m=3)
+
+        def script(api):
+            yield from dictionary.insert(api, "a")
+            view = yield from dictionary.view(api)
+            return view
+
+        view = run_one(dictionary, 0, script)
+        assert view.slots == ((0, 0, "a"),)
+        assert "a" in view
+        assert "b" not in view

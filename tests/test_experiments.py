@@ -1,0 +1,57 @@
+"""End-to-end tests: every registered experiment reproduces its claim.
+
+These are the reproduction's acceptance tests — each experiment's
+``passed`` flag encodes the corresponding claim of the paper, so a
+regression anywhere in the stack (protocol, checker, apps, harness)
+surfaces here.
+"""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+QUICK = [
+    "fig1", "fig2", "fig3", "fig5",
+    "dictionary", "discard-liveness", "write-behind",
+]
+HEAVY = [
+    "fig4", "solver-table", "solver-convergence",
+    "ablation-readonly", "async-solver", "nocache-atomicity",
+    "page-granularity", "locality", "latency-blocking",
+    "ownership-migration",
+]
+
+
+@pytest.mark.parametrize("name", QUICK)
+def test_quick_experiment_passes(name):
+    report = run_experiment(name)
+    assert report.passed, report.text
+
+
+@pytest.mark.parametrize("name", HEAVY)
+def test_heavy_experiment_passes(name):
+    report = run_experiment(name)
+    assert report.passed, report.text
+
+
+def test_registry_covers_every_design_md_experiment():
+    assert set(QUICK) | set(HEAVY) == set(EXPERIMENTS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("does-not-exist")
+
+
+def test_reports_have_identities_and_text():
+    report = run_experiment("fig1")
+    assert report.exp_id == "E1"
+    assert report.title
+    assert "PASS" in str(report)
+
+
+def test_solver_table_data_shape():
+    report = run_experiment("solver-table")
+    rows = report.data["rows"]
+    assert all(row["causal"] == row["paper_causal"] for row in rows)
+    assert all(row["atomic"] >= row["paper_atomic"] for row in rows)

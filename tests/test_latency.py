@@ -1,0 +1,84 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.latency import (
+    ConstantLatency,
+    JitteredLatency,
+    PerLinkLatency,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestConstant:
+    def test_always_same_value(self, rng):
+        model = ConstantLatency(2.0)
+        assert all(model.delay(0, 1, rng) == 2.0 for _ in range(10))
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-1.0)
+
+    def test_describe(self):
+        assert "2.0" in ConstantLatency(2.0).describe()
+
+
+class TestUniform:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(1.0, 3.0)
+        samples = [model.delay(0, 1, rng) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert max(samples) - min(samples) > 0.5  # actually varies
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(NetworkError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(NetworkError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestJittered:
+    def test_at_least_base(self, rng):
+        model = JitteredLatency(base=1.0, jitter_mean=0.5)
+        assert all(model.delay(0, 1, rng) >= 1.0 for _ in range(100))
+
+    def test_zero_jitter_is_constant(self, rng):
+        model = JitteredLatency(base=1.0, jitter_mean=0.0)
+        assert model.delay(0, 1, rng) == 1.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            JitteredLatency(base=-1.0)
+        with pytest.raises(NetworkError):
+            JitteredLatency(jitter_mean=-0.1)
+
+    def test_mean_roughly_base_plus_jitter(self, rng):
+        model = JitteredLatency(base=1.0, jitter_mean=0.5)
+        samples = [model.delay(0, 1, rng) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 1.4 < mean < 1.6
+
+
+class TestPerLink:
+    def test_override_and_default(self, rng):
+        model = PerLinkLatency(default=1.0, links={(0, 1): 9.0})
+        assert model.delay(0, 1, rng) == 9.0
+        assert model.delay(1, 0, rng) == 1.0  # directed
+        assert model.delay(0, 2, rng) == 1.0
+
+    def test_set_link(self, rng):
+        model = PerLinkLatency(default=1.0)
+        model.set_link(2, 3, 7.0)
+        assert model.delay(2, 3, rng) == 7.0
+
+    def test_describe_counts_overrides(self):
+        model = PerLinkLatency(default=1.0, links={(0, 1): 2.0, (1, 0): 3.0})
+        assert "2" in model.describe()

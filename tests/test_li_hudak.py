@@ -1,0 +1,222 @@
+"""Tests for the Li–Hudak migrating-ownership DSM."""
+
+import pytest
+
+from repro.checker import check_sequential
+from repro.errors import ProtocolError
+from repro.memory import Namespace
+from repro.protocols.base import DSMCluster
+from repro.sim.tasks import sleep
+
+
+def make_cluster(n=3, owners=None, seed=0, latency=None):
+    namespace = Namespace.explicit(n, owners or {"x": 0, "y": 1})
+    return DSMCluster(
+        n, protocol="li", namespace=namespace, seed=seed, latency=latency
+    )
+
+
+class TestBasics:
+    def test_static_owner_reads_locally(self):
+        cluster = make_cluster()
+
+        def process(api):
+            return (yield api.read("x"))
+
+        task = cluster.spawn(0, process)
+        cluster.run()
+        assert task.result() == 0
+        assert cluster.stats.total == 0
+
+    def test_read_chases_to_owner_and_caches(self):
+        cluster = make_cluster()
+
+        def process(api):
+            first = yield api.read("x")
+            second = yield api.read("x")  # cached
+            return (first, second)
+
+        task = cluster.spawn(1, process)
+        cluster.run()
+        assert task.result() == (0, 0)
+        assert cluster.stats.by_kind == {"M_READ": 1, "M_REPLY": 1}
+        assert cluster.nodes[1].prob_owner("x") == 0
+
+    def test_write_migrates_ownership(self):
+        cluster = make_cluster()
+
+        def writer(api):
+            yield api.write("x", 7)
+            # Subsequent write is local: ownership moved here.
+            before = cluster.stats.total
+            yield api.write("x", 8)
+            assert cluster.stats.total == before
+
+        cluster.spawn(1, writer)
+        cluster.run()
+        assert cluster.nodes[1].is_owner("x")
+        assert not cluster.nodes[0].is_owner("x")
+        assert cluster.nodes[0].prob_owner("x") == 1
+
+    def test_read_after_migration_chases_new_owner(self):
+        cluster = make_cluster()
+
+        def writer(api):
+            yield api.write("x", 7)
+
+        def reader(api):
+            yield sleep(cluster.sim, 20.0)
+            return (yield api.read("x"))
+
+        cluster.spawn(1, writer)
+        task = cluster.spawn(2, reader)
+        cluster.run()
+        assert task.result() == 7
+
+    def test_write_invalidates_copies_before_applying(self):
+        cluster = make_cluster()
+        observed = {}
+
+        def early_reader(api):
+            yield api.read("x")              # cache a copy
+            yield sleep(cluster.sim, 30.0)   # well past the write
+            observed["late"] = yield api.read("x")
+
+        def writer(api):
+            yield sleep(cluster.sim, 5.0)
+            yield api.write("x", 1)
+
+        cluster.spawn(2, early_reader)
+        cluster.spawn(1, writer)
+        cluster.run()
+        assert observed["late"] == 1
+        assert cluster.stats.by_kind["M_INV"] >= 1
+        assert (
+            cluster.stats.by_kind["M_INV"]
+            == cluster.stats.by_kind["M_INV_ACK"]
+        )
+
+
+class TestOwnershipRaces:
+    def test_competing_writers_serialize(self):
+        cluster = make_cluster()
+
+        def writer(api, value):
+            yield api.write("x", value)
+
+        cluster.spawn(1, writer, 10)
+        cluster.spawn(2, writer, 20)
+        cluster.run()
+        owners = [node for node in cluster.nodes if node.is_owner("x")]
+        assert len(owners) == 1
+        assert owners[0].node_id in (1, 2)
+        assert check_sequential(cluster.history(), want_witness=False).ok
+
+    def test_ping_pong_ownership(self):
+        cluster = make_cluster()
+
+        def writer(api, me, rounds):
+            for round_no in range(rounds):
+                yield api.write("x", (me, round_no))
+                yield sleep(cluster.sim, 7.0)
+
+        cluster.spawn(1, writer, 1, 4)
+        cluster.spawn(2, writer, 2, 4)
+        cluster.run()
+        assert check_sequential(cluster.history(), want_witness=False).ok
+
+    def test_read_during_transfer_eventually_served(self):
+        cluster = make_cluster()
+        values = {}
+
+        def writer(api):
+            yield api.write("x", 1)
+
+        def reader(api):
+            yield sleep(cluster.sim, 1.5)  # lands mid-transfer
+            values["read"] = yield api.read("x")
+
+        cluster.spawn(1, writer)
+        cluster.spawn(2, reader)
+        cluster.run()
+        assert values["read"] in (0, 1)
+
+    def test_fuzzed_histories_sequentially_consistent(self):
+        from repro.sim.latency import JitteredLatency
+
+        for seed in range(8):
+            cluster = DSMCluster(
+                3, protocol="li", seed=seed,
+                latency=JitteredLatency(base=1.0, jitter_mean=0.7),
+            )
+
+            def process(api, proc):
+                rng = cluster.sim.derived_rng(f"li-{proc}")
+                counter = 0
+                for _ in range(12):
+                    location = f"loc{rng.randrange(3)}"
+                    if rng.random() < 0.5:
+                        yield api.read(location)
+                    else:
+                        counter += 1
+                        yield api.write(location, f"n{proc}v{counter}")
+
+            for proc in range(3):
+                cluster.spawn(proc, process, proc)
+            cluster.run(max_events=200_000)
+            assert check_sequential(
+                cluster.history(), want_witness=False
+            ).ok, f"seed {seed} not SC"
+
+
+class TestWriteLocality:
+    def test_repeated_writes_amortize_to_zero_messages(self):
+        """Migration's payoff over the fixed-owner baseline: a writer
+        that keeps writing the same location stops paying messages."""
+        fixed = DSMCluster(
+            2, protocol="atomic",
+            namespace=Namespace.explicit(2, {"x": 0}),
+        )
+        migrating = make_cluster(2, owners={"x": 0})
+
+        def hammer(api):
+            for i in range(10):
+                yield api.write("x", i)
+
+        fixed.spawn(1, hammer)
+        fixed.run()
+        migrating.spawn(1, hammer)
+        migrating.run()
+        assert migrating.stats.total < fixed.stats.total
+        # Fixed owner: every write is a round trip; migrating: one
+        # transfer then locality.
+        assert fixed.stats.total == 20
+        assert migrating.stats.total <= 4
+
+
+class TestErrors:
+    def test_unknown_message_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.nodes[0].handle_message(1, object())
+
+    def test_cluster_watch_refused(self):
+        cluster = make_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.watch("x", lambda v: True)
+
+    def test_node_watch_fires_on_owned_write(self):
+        cluster = make_cluster()
+        seen = []
+
+        def writer(api):
+            yield api.write("x", 5)
+
+        def observer():
+            future = cluster.nodes[1].watch("x", lambda v: v == 5)
+            future.add_done_callback(lambda f: seen.append(f.result()))
+
+        observer()
+        cluster.spawn(1, writer)
+        cluster.run()
+        assert seen == [5]

@@ -1,0 +1,187 @@
+"""Unit/integration tests for the synchronous linear solver (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.message_model import (
+    atomic_messages_lower_bound,
+    causal_messages_per_processor,
+)
+from repro.apps.linear_solver import (
+    LinearSystem,
+    SynchronousSolver,
+    solver_namespace,
+)
+from repro.errors import ReproError
+
+
+class TestLinearSystem:
+    def test_random_is_diagonally_dominant(self):
+        system = LinearSystem.random(6, seed=1)
+        a = system.a
+        for i in range(6):
+            off_diag = np.abs(a[i]).sum() - abs(a[i, i])
+            assert abs(a[i, i]) > off_diag
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            LinearSystem(a=np.eye(3), b=np.zeros(2))
+
+    def test_exact_solution_solves_system(self):
+        system = LinearSystem.random(5, seed=2)
+        x = system.exact_solution()
+        assert system.residual(x) < 1e-9
+
+    def test_seeded_reproducibility(self):
+        a = LinearSystem.random(4, seed=3)
+        b = LinearSystem.random(4, seed=3)
+        assert np.array_equal(a.a, b.a)
+        assert np.array_equal(a.b, b.b)
+
+
+class TestNamespace:
+    def test_worker_owns_its_slice(self):
+        ns = solver_namespace(4)
+        assert ns.owner("x[2]") == 2
+        assert ns.owner("complete[3]") == 3
+        assert ns.owner("changed[0]") == 0
+
+    def test_coordinator_owns_inputs(self):
+        ns = solver_namespace(4)
+        assert ns.owner("A[1][2]") == 4
+        assert ns.owner("b[0]") == 4
+        assert ns.owner("ready") == 4
+
+    def test_inputs_read_only_by_default(self):
+        ns = solver_namespace(4)
+        assert ns.is_read_only("A[0][0]")
+        assert ns.is_read_only("b[2]")
+        assert not ns.is_read_only("x[0]")
+
+    def test_ablation_disables_read_only(self):
+        ns = solver_namespace(4, read_only_inputs=False)
+        assert not ns.is_read_only("A[0][0]")
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("protocol", ["causal", "atomic", "central"])
+    def test_solver_converges(self, protocol):
+        system = LinearSystem.random(4, seed=5)
+        result = SynchronousSolver(
+            system, protocol=protocol, iterations=15, seed=1
+        ).run()
+        assert result.max_error < 1e-6
+        assert result.residual < 1e-5
+
+    def test_all_protocols_agree(self):
+        system = LinearSystem.random(4, seed=5)
+        solutions = [
+            SynchronousSolver(
+                system, protocol=protocol, iterations=15, seed=1
+            ).run().solution
+            for protocol in ("causal", "atomic", "central")
+        ]
+        assert np.allclose(solutions[0], solutions[1])
+        assert np.allclose(solutions[0], solutions[2])
+
+    def test_more_iterations_reduce_error(self):
+        system = LinearSystem.random(4, seed=5)
+        few = SynchronousSolver(system, iterations=4, seed=1).run()
+        many = SynchronousSolver(system, iterations=16, seed=1).run()
+        assert many.max_error < few.max_error
+
+
+class TestMessageCounting:
+    """The Section 4.1 argument, measured."""
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_causal_matches_formula_exactly(self, n):
+        system = LinearSystem.random(n, seed=7)
+        result = SynchronousSolver(
+            system, protocol="causal", iterations=8, seed=1
+        ).run()
+        assert result.steady_messages_per_processor == pytest.approx(
+            causal_messages_per_processor(n)
+        )
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_atomic_at_least_paper_bound(self, n):
+        system = LinearSystem.random(n, seed=7)
+        result = SynchronousSolver(
+            system, protocol="atomic", iterations=8, seed=1
+        ).run()
+        assert (
+            result.steady_messages_per_processor
+            >= atomic_messages_lower_bound(n)
+        )
+
+    def test_causal_beats_atomic_beats_central(self):
+        system = LinearSystem.random(4, seed=7)
+        per_proc = {}
+        for protocol in ("causal", "atomic", "central"):
+            result = SynchronousSolver(
+                system, protocol=protocol, iterations=8, seed=1
+            ).run()
+            per_proc[protocol] = result.steady_messages_per_processor
+        assert per_proc["causal"] < per_proc["atomic"] < per_proc["central"]
+
+    def test_steady_state_is_steady(self):
+        system = LinearSystem.random(4, seed=7)
+        result = SynchronousSolver(
+            system, protocol="causal", iterations=10, seed=1
+        ).run()
+        steady = result.per_phase_messages[2:-1]
+        assert len(set(steady)) == 1  # identical every phase
+
+    def test_readonly_ablation_costs_refetches(self):
+        system = LinearSystem.random(4, seed=7)
+        with_ro = SynchronousSolver(
+            system, iterations=8, seed=1, read_only_inputs=True
+        ).run()
+        without_ro = SynchronousSolver(
+            system, iterations=8, seed=1, read_only_inputs=False
+        ).run()
+        assert (
+            without_ro.steady_messages_per_processor
+            > with_ro.steady_messages_per_processor
+        )
+        # Both still converge.
+        assert without_ro.max_error < 1e-4
+
+
+class TestPollingMode:
+    def test_polling_solver_converges(self):
+        system = LinearSystem.random(3, seed=9)
+        result = SynchronousSolver(
+            system, iterations=6, seed=1,
+            wait_mode="polling", poll_period=2.0,
+        ).run()
+        assert result.max_error < 1e-3
+
+    def test_polling_never_cheaper_than_oracle(self):
+        system = LinearSystem.random(3, seed=9)
+        oracle = SynchronousSolver(
+            system, iterations=6, seed=1, wait_mode="oracle"
+        ).run()
+        polling = SynchronousSolver(
+            system, iterations=6, seed=1,
+            wait_mode="polling", poll_period=3.0,
+        ).run()
+        assert polling.total_messages >= oracle.total_messages
+
+
+class TestValidation:
+    def test_unknown_protocol_rejected(self):
+        system = LinearSystem.random(3, seed=1)
+        with pytest.raises(ReproError):
+            SynchronousSolver(system, protocol="broadcast")
+
+    def test_unknown_wait_mode_rejected(self):
+        system = LinearSystem.random(3, seed=1)
+        with pytest.raises(ReproError):
+            SynchronousSolver(system, wait_mode="spin")
+
+    def test_result_summary_renders(self):
+        system = LinearSystem.random(3, seed=1)
+        result = SynchronousSolver(system, iterations=4, seed=1).run()
+        assert "causal" in result.summary()

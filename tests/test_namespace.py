@@ -1,0 +1,117 @@
+"""Unit tests for ownership namespaces and paging."""
+
+import pytest
+
+from repro.errors import OwnershipError
+from repro.memory.namespace import Namespace, location_array
+
+
+class TestLocationArray:
+    def test_single_index(self):
+        assert location_array("x", 3) == "x[3]"
+
+    def test_multi_index(self):
+        assert location_array("dict", 2, 5) == "dict[2][5]"
+
+
+class TestHashedNamespace:
+    def test_owner_stable_across_instances(self):
+        a = Namespace.hashed(4).owner("x")
+        b = Namespace.hashed(4).owner("x")
+        assert a == b
+
+    def test_owner_in_range(self):
+        ns = Namespace.hashed(3)
+        for loc in ("x", "y", "z", "a[0]", "a[1]"):
+            assert 0 <= ns.owner(loc) < 3
+
+    def test_owns(self):
+        ns = Namespace.hashed(3)
+        owner = ns.owner("x")
+        assert ns.owns(owner, "x")
+        assert not ns.owns((owner + 1) % 3, "x")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(OwnershipError):
+            Namespace(0)
+
+
+class TestExplicitNamespace:
+    def test_table_respected(self):
+        ns = Namespace.explicit(3, {"x": 0, "y": 2})
+        assert ns.owner("x") == 0
+        assert ns.owner("y") == 2
+
+    def test_default_owner(self):
+        ns = Namespace.explicit(3, {"x": 0}, default=1)
+        assert ns.owner("anything-else") == 1
+
+    def test_fallback_to_hash_without_default(self):
+        ns = Namespace.explicit(3, {"x": 0})
+        assert 0 <= ns.owner("unlisted") < 3
+
+    def test_out_of_range_owner_rejected(self):
+        ns = Namespace.explicit(2, {"x": 5})
+        with pytest.raises(OwnershipError):
+            ns.owner("x")
+
+
+class TestByFirstIndex:
+    def test_row_ownership(self):
+        ns = Namespace.by_first_index(4)
+        assert ns.owner("dict[0][3]") == 0
+        assert ns.owner("dict[3][0]") == 3
+
+    def test_index_beyond_nodes_falls_back(self):
+        ns = Namespace.by_first_index(2)
+        assert 0 <= ns.owner("dict[7][0]") < 2
+
+    def test_non_array_falls_back(self):
+        ns = Namespace.by_first_index(2)
+        assert 0 <= ns.owner("plain") < 2
+
+
+class TestPaging:
+    def test_unit_groups_by_page(self):
+        ns = Namespace.array_paged(2, page_size=4)
+        assert ns.unit("x[0]") == ns.unit("x[3]") == "x@page0"
+        assert ns.unit("x[4]") == "x@page1"
+
+    def test_same_page_same_owner(self):
+        ns = Namespace.array_paged(3, page_size=4)
+        assert ns.owner("x[0]") == ns.owner("x[3]")
+
+    def test_different_bases_different_units(self):
+        ns = Namespace.array_paged(2, page_size=4)
+        assert ns.unit("x[0]") != ns.unit("y[0]")
+
+    def test_non_array_location_is_own_unit(self):
+        ns = Namespace.array_paged(2, page_size=4)
+        assert ns.unit("flag") == "flag"
+
+    def test_multi_index_not_paged(self):
+        ns = Namespace.array_paged(2, page_size=4)
+        assert ns.unit("dict[1][2]") == "dict[1][2]"
+
+    def test_zero_page_size_rejected(self):
+        with pytest.raises(OwnershipError):
+            Namespace.array_paged(2, page_size=0)
+
+    def test_default_unit_is_identity(self):
+        ns = Namespace.hashed(2)
+        assert ns.unit("x[7]") == "x[7]"
+
+
+class TestReadOnly:
+    def test_prefix_match(self):
+        ns = Namespace.hashed(2, read_only=("A[", "b["))
+        assert ns.is_read_only("A[1][2]")
+        assert ns.is_read_only("b[0]")
+        assert not ns.is_read_only("x[0]")
+
+    def test_no_prefixes_nothing_read_only(self):
+        assert not Namespace.hashed(2).is_read_only("A[0][0]")
+
+    def test_read_only_follows_unit_not_location(self):
+        ns = Namespace.array_paged(2, page_size=2, read_only=("A@",))
+        assert ns.is_read_only("A[1]")

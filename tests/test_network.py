@@ -1,0 +1,208 @@
+"""Unit tests for the reliable FIFO network layer."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.latency import ConstantLatency, JitteredLatency, UniformLatency
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class Ping:
+    kind: ClassVar[str] = "PING"
+    seq: int
+
+
+def make_net(n=3, latency=None, seed=0, trace=True):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=latency, trace_messages=trace)
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        net.register(i, lambda src, msg, i=i: inboxes[i].append((src, msg)))
+    return sim, net, inboxes
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.register(0, lambda s, m: None)
+        with pytest.raises(NetworkError):
+            net.register(0, lambda s, m: None)
+
+    def test_node_ids_sorted(self):
+        sim = Simulator()
+        net = Network(sim)
+        for node in (2, 0, 1):
+            net.register(node, lambda s, m: None)
+        assert net.node_ids == [0, 1, 2]
+
+    def test_send_to_unknown_node_rejected(self):
+        sim, net, _ = make_net(2)
+        with pytest.raises(NetworkError):
+            net.send(0, 9, Ping(1))
+
+    def test_send_from_unknown_node_rejected(self):
+        sim, net, _ = make_net(2)
+        with pytest.raises(NetworkError):
+            net.send(9, 0, Ping(1))
+
+    def test_self_send_rejected(self):
+        sim, net, _ = make_net(2)
+        with pytest.raises(NetworkError):
+            net.send(0, 0, Ping(1))
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        sim, net, inboxes = make_net(2, latency=ConstantLatency(2.5))
+        net.send(0, 1, Ping(1))
+        sim.run()
+        assert inboxes[1] == [(0, Ping(1))]
+        assert sim.now == 2.5
+
+    def test_fifo_on_constant_latency(self):
+        sim, net, inboxes = make_net(2)
+        for seq in range(5):
+            net.send(0, 1, Ping(seq))
+        sim.run()
+        assert [msg.seq for _, msg in inboxes[1]] == list(range(5))
+
+    def test_fifo_enforced_under_jitter(self):
+        # Send a burst under heavy jitter; delivery must preserve order.
+        sim, net, inboxes = make_net(
+            2, latency=JitteredLatency(base=0.1, jitter_mean=5.0), seed=13
+        )
+        for seq in range(50):
+            net.send(0, 1, Ping(seq))
+        sim.run()
+        assert [msg.seq for _, msg in inboxes[1]] == list(range(50))
+
+    def test_fifo_is_per_channel_not_global(self):
+        # Messages on different channels may interleave arbitrarily.
+        sim, net, inboxes = make_net(
+            3, latency=UniformLatency(0.1, 10.0), seed=5
+        )
+        for seq in range(20):
+            net.send(0, 2, Ping(seq))
+            net.send(1, 2, Ping(100 + seq))
+        sim.run()
+        from_zero = [m.seq for s, m in inboxes[2] if s == 0]
+        from_one = [m.seq for s, m in inboxes[2] if s == 1]
+        assert from_zero == list(range(20))
+        assert from_one == [100 + s for s in range(20)]
+
+    def test_stats_count_messages(self):
+        sim, net, _ = make_net(2)
+        net.send(0, 1, Ping(1))
+        net.send(1, 0, Ping(2))
+        sim.run()
+        assert net.stats.total == 2
+        assert net.stats.by_kind["PING"] == 2
+        assert net.stats.by_sender[0] == 1
+        assert net.stats.by_receiver[0] == 1
+
+    def test_trace_records_endpoints_and_latency(self):
+        sim, net, _ = make_net(2, latency=ConstantLatency(3.0))
+        net.send(0, 1, Ping(1))
+        sim.run()
+        record = net.trace.records[0]
+        assert (record.src, record.dst) == (0, 1)
+        assert record.latency == 3.0
+
+    def test_trace_disabled_keeps_stats(self):
+        sim, net, _ = make_net(2, trace=False)
+        net.send(0, 1, Ping(1))
+        sim.run()
+        assert len(net.trace) == 0
+        assert net.stats.total == 1
+
+
+class TestFaults:
+    def test_partition_drops_messages(self):
+        sim, net, inboxes = make_net(2)
+        net.partition(0, 1)
+        net.send(0, 1, Ping(1))
+        net.send(1, 0, Ping(2))
+        sim.run()
+        assert inboxes[1] == [] and inboxes[0] == []
+        assert net.stats.dropped == 2
+        assert net.stats.total == 0
+
+    def test_one_way_partition(self):
+        sim, net, inboxes = make_net(2)
+        net.partition(0, 1, bidirectional=False)
+        net.send(0, 1, Ping(1))
+        net.send(1, 0, Ping(2))
+        sim.run()
+        assert inboxes[1] == []
+        assert [m.seq for _, m in inboxes[0]] == [2]
+
+    def test_heal_restores_delivery(self):
+        sim, net, inboxes = make_net(2)
+        net.partition(0, 1)
+        net.send(0, 1, Ping(1))
+        net.heal(0, 1)
+        net.send(0, 1, Ping(2))
+        sim.run()
+        assert [m.seq for _, m in inboxes[1]] == [2]
+
+    def test_crash_drops_both_directions(self):
+        sim, net, inboxes = make_net(3)
+        net.crash(1)
+        net.send(0, 1, Ping(1))
+        net.send(1, 2, Ping(2))
+        net.send(0, 2, Ping(3))
+        sim.run()
+        assert inboxes[1] == []
+        assert [m.seq for _, m in inboxes[2]] == [3]
+
+    def test_crash_after_send_loses_in_flight_message(self):
+        sim, net, inboxes = make_net(2, latency=ConstantLatency(5.0))
+        net.send(0, 1, Ping(1))
+        sim.schedule(1.0, lambda: net.crash(1))
+        sim.run()
+        assert inboxes[1] == []
+
+    def test_heal_all(self):
+        sim, net, inboxes = make_net(2)
+        net.partition(0, 1)
+        net.crash(0)
+        net.heal_all()
+        net.send(0, 1, Ping(9))
+        sim.run()
+        assert [m.seq for _, m in inboxes[1]] == [9]
+
+    def test_drop_rate_validation(self):
+        sim, net, _ = make_net(2)
+        with pytest.raises(NetworkError):
+            net.set_drop_rate(1.5)
+
+    def test_drop_rate_drops_roughly_that_fraction(self):
+        sim, net, inboxes = make_net(2, seed=21)
+        net.set_drop_rate(0.5)
+        for seq in range(200):
+            net.send(0, 1, Ping(seq))
+        sim.run()
+        delivered = len(inboxes[1])
+        assert 60 < delivered < 140
+        assert net.stats.dropped == 200 - delivered
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run(seed):
+            sim, net, _ = make_net(
+                2, latency=JitteredLatency(1.0, 0.5), seed=seed
+            )
+            for seq in range(10):
+                net.send(0, 1, Ping(seq))
+            sim.run()
+            return [r.delivered_at for r in net.trace]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)

@@ -1,0 +1,127 @@
+"""Cross-checker properties over arbitrary (possibly bad) histories.
+
+The protocol fuzz tests only exercise histories real protocols produce;
+here, randomly generated histories — consistent or not — feed the whole
+checker stack, asserting the consistency hierarchy:
+
+    sequential  =>  causal  =>  PRAM  =>  slow
+
+plus checker determinism and parser round-trip stability.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.checker import (
+    History,
+    check_causal,
+    check_pram,
+    check_sequential,
+    check_slow,
+    random_history,
+)
+
+COMMON = dict(
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+history_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=100_000),
+        "n_procs": st.integers(min_value=1, max_value=4),
+        "n_locations": st.integers(min_value=1, max_value=3),
+        "ops_per_proc": st.integers(min_value=1, max_value=6),
+        "read_fraction": st.floats(min_value=0.2, max_value=0.8),
+    }
+)
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_sequential_implies_causal(params):
+    history = random_history(**params)
+    if check_sequential(history, want_witness=False).ok:
+        assert check_causal(history).ok, history.to_text()
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_causal_implies_pram(params):
+    history = random_history(**params)
+    if check_causal(history).ok:
+        assert check_pram(history).ok, history.to_text()
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_pram_implies_slow(params):
+    history = random_history(**params)
+    if check_pram(history).ok:
+        assert check_slow(history).ok, history.to_text()
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_checkers_are_deterministic(params):
+    history = random_history(**params)
+    assert check_causal(history).ok == check_causal(history).ok
+    assert (
+        check_sequential(history, want_witness=False).ok
+        == check_sequential(history, want_witness=False).ok
+    )
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_parser_round_trip(params):
+    history = random_history(**params)
+    reparsed = History.parse(history.to_text())
+    assert reparsed.to_text() == history.to_text()
+    assert check_causal(reparsed).ok == check_causal(history).ok
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_generator_is_seed_deterministic(params):
+    assert (
+        random_history(**params).to_text()
+        == random_history(**params).to_text()
+    )
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_live_sets_nonempty_in_correct_executions(params):
+    """In a *correct* execution every read's alpha is nonempty (it
+    contains at least the write the read read from).  In incorrect
+    executions alpha can genuinely be empty — a violating read may
+    'serve notice' that kills every candidate (e.g.
+    ``w(x)1 w(x)2 w(x)3 r(x)2 r(x)2``), so no assertion is made there.
+    """
+    history = random_history(**params)
+    result = check_causal(history)
+    if result.cycle is not None or not result.ok:
+        return
+    for verdict in result.verdicts:
+        assert verdict.live_values, f"empty alpha for {verdict.read}"
+        assert verdict.read.value in verdict.live_values
+
+
+def test_violating_history_can_have_empty_alpha():
+    """Regression pin for the hypothesis-found counterexample above."""
+    history = History.parse("P1: w(x)1 w(x)2 w(x)3 r(x)2 r(x)2")
+    result = check_causal(history)
+    assert not result.ok
+    assert result.verdicts[1].live_values == set()
+
+
+@settings(**COMMON)
+@given(history_params)
+def test_single_process_histories_are_sequential_iff_causal(params):
+    """With one process, program order is total: SC == causal."""
+    params = dict(params, n_procs=1)
+    history = random_history(**params)
+    sc = check_sequential(history, want_witness=False).ok
+    causal = check_causal(history).ok
+    assert sc == causal, history.to_text()

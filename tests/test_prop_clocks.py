@@ -1,0 +1,90 @@
+"""Property-based tests for vector clocks (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.clocks import VectorClock
+
+DIM = 4
+
+components = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=DIM, max_size=DIM
+)
+clocks = components.map(VectorClock)
+
+
+@given(clocks)
+def test_order_is_irreflexive(clock):
+    assert not clock < clock
+
+
+@given(clocks, clocks)
+def test_order_is_antisymmetric(a, b):
+    assert not (a < b and b < a)
+
+
+@given(clocks, clocks, clocks)
+def test_order_is_transitive(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(clocks, clocks)
+def test_exactly_one_of_lt_gt_concurrent_or_equal(a, b):
+    relations = [a < b, b < a, a.concurrent_with(b), a == b]
+    assert sum(relations) == 1
+
+
+@given(clocks, clocks)
+def test_update_is_least_upper_bound(a, b):
+    merged = a.update(b)
+    assert a <= merged and b <= merged
+    # least: every other common upper bound dominates the merge
+    assert all(
+        merged[i] == max(a[i], b[i]) for i in range(DIM)
+    )
+
+
+@given(clocks, clocks)
+def test_update_commutative(a, b):
+    assert a.update(b) == b.update(a)
+
+
+@given(clocks, clocks, clocks)
+def test_update_associative(a, b, c):
+    assert a.update(b).update(c) == a.update(b.update(c))
+
+
+@given(clocks)
+def test_update_idempotent(clock):
+    assert clock.update(clock) == clock
+
+
+@given(clocks, st.integers(min_value=0, max_value=DIM - 1))
+def test_increment_strictly_increases(clock, index):
+    assert clock < clock.increment(index)
+
+
+@given(clocks, st.integers(min_value=0, max_value=DIM - 1))
+def test_increment_changes_only_one_component(clock, index):
+    bumped = clock.increment(index)
+    assert bumped[index] == clock[index] + 1
+    assert all(bumped[i] == clock[i] for i in range(DIM) if i != index)
+
+
+@given(clocks, clocks)
+def test_concurrency_is_symmetric(a, b):
+    assert a.concurrent_with(b) == b.concurrent_with(a)
+
+
+@given(clocks, clocks)
+def test_hash_consistent_with_equality(a, b):
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+@given(clocks, clocks, st.integers(min_value=0, max_value=DIM - 1))
+def test_merge_then_increment_dominates_both(a, b, index):
+    """The owner's WRITE-handler stamp dominates writer and owner pasts."""
+    merged = a.update(b).increment(index)
+    assert a < merged or a <= merged
+    assert b <= merged

@@ -1,0 +1,121 @@
+"""Tests for experiment-result persistence and drift comparison."""
+
+import pytest
+
+from repro.analysis.results import ResultDelta, ResultsStore
+from repro.errors import ReproError
+
+
+def make_store(**overrides):
+    store = ResultsStore()
+    store.record("fig1", passed=True, data={"concurrent": True})
+    store.record(
+        "solver-table",
+        passed=True,
+        data={"rows": [{"n": 4, "causal": 14.0, "atomic": 24.0}]},
+    )
+    for name, (passed, data) in overrides.items():
+        store.record(name, passed=passed, data=data)
+    return store
+
+
+class TestRecording:
+    def test_record_and_query(self):
+        store = make_store()
+        assert store.passed("fig1") is True
+        assert store.data("fig1") == {"concurrent": True}
+        assert store.experiments == ["fig1", "solver-table"]
+        assert store.all_passed()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            make_store().passed("nope")
+
+    def test_all_passed_false_on_any_failure(self):
+        store = make_store(broken=(False, {}))
+        assert not store.all_passed()
+
+    def test_non_jsonable_values_coerced(self):
+        store = ResultsStore()
+        store.record("x", passed=True, data={"set": {1, 2}, "obj": object()})
+        data = store.data("x")
+        assert sorted(data["set"]) == [1, 2]
+        assert isinstance(data["obj"], str)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        store = make_store()
+        restored = ResultsStore.from_json(store.to_json())
+        assert restored.experiments == store.experiments
+        assert restored.data("solver-table") == store.data("solver-table")
+
+    def test_file_round_trip(self, tmp_path):
+        store = make_store()
+        path = tmp_path / "results.json"
+        store.save(path)
+        assert ResultsStore.load(path).passed("fig1")
+
+    def test_json_is_stable(self):
+        assert make_store().to_json() == make_store().to_json()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReproError):
+            ResultsStore.from_json("not json")
+        with pytest.raises(ReproError):
+            ResultsStore.from_json("[1, 2]")
+        with pytest.raises(ReproError):
+            ResultsStore.from_json('{"x": {"nope": 1}}')
+
+
+class TestComparison:
+    def test_identical_stores_have_no_deltas(self):
+        assert make_store().compare(make_store()) == []
+
+    def test_pass_flag_change_detected(self):
+        baseline = make_store()
+        current = make_store(fig1=(False, {"concurrent": True}))
+        deltas = current.compare(baseline)
+        assert any(d.field == "passed" for d in deltas)
+
+    def test_nested_data_drift_detected(self):
+        baseline = make_store()
+        current = make_store()
+        current.record(
+            "solver-table",
+            passed=True,
+            data={"rows": [{"n": 4, "causal": 16.0, "atomic": 24.0}]},
+        )
+        deltas = current.compare(baseline)
+        assert len(deltas) == 1
+        assert "causal" in deltas[0].field
+        assert deltas[0].baseline == 14.0
+        assert deltas[0].current == 16.0
+
+    def test_missing_experiments_reported_both_ways(self):
+        baseline = make_store(extra=(True, {}))
+        current = make_store()
+        deltas = current.compare(baseline)
+        assert any(
+            d.experiment == "extra" and d.current == "missing"
+            for d in deltas
+        )
+        reverse = baseline.compare(current)
+        assert any(
+            d.experiment == "extra" and d.current == "recorded"
+            for d in reverse
+        )
+
+    def test_delta_str(self):
+        delta = ResultDelta("e", "passed", True, False)
+        assert "e.passed" in str(delta)
+
+
+class TestCLIIntegration:
+    def test_report_recording(self):
+        from repro.harness.experiments import run_experiment
+
+        report = run_experiment("fig1")
+        store = ResultsStore()
+        store.record_report(report)
+        assert store.passed("E1")

@@ -1,0 +1,49 @@
+"""Integration tests for the deterministic paper scenarios."""
+
+from repro.checker import check_causal, check_sequential
+from repro.harness.scenarios import (
+    run_discard_liveness,
+    run_figure3_on_broadcast,
+    run_figure5_on_causal,
+)
+
+
+class TestFigure3Scenario:
+    def test_shape_matches_paper(self, figure3):
+        assert run_figure3_on_broadcast().to_text() == figure3.to_text()
+
+    def test_not_causal(self):
+        assert not check_causal(run_figure3_on_broadcast()).ok
+
+    def test_violating_read_is_p3s_x_read(self):
+        result = check_causal(run_figure3_on_broadcast())
+        assert [v.read.op_id for v in result.violations] == [(2, 1)]
+
+
+class TestFigure5Scenario:
+    def test_shape_matches_paper(self, figure5):
+        assert run_figure5_on_causal().to_text() == figure5.to_text()
+
+    def test_causal_but_not_sequential(self):
+        history = run_figure5_on_causal()
+        assert check_causal(history).ok
+        assert not check_sequential(history, want_witness=False).ok
+
+
+class TestDiscardLiveness:
+    def test_without_discard_no_communication_after_warmup(self):
+        outcome = run_discard_liveness(with_discard=False, rounds=8)
+        assert outcome.messages_after_warmup == 0
+        assert not outcome.observed_fresh_values
+        # Both nodes are frozen at the other's *initial* value.
+        assert outcome.final_observed == (0, 0)
+
+    def test_with_discard_fresh_values_observed(self):
+        outcome = run_discard_liveness(with_discard=True, rounds=8)
+        assert outcome.observed_fresh_values
+        # Two messages per refetch per node per round.
+        assert outcome.messages_after_warmup >= 2 * 2 * 8
+
+    def test_authoritative_values_reach_round_count(self):
+        outcome = run_discard_liveness(with_discard=True, rounds=8)
+        assert outcome.final_authoritative == (8, 8)

@@ -1,0 +1,97 @@
+"""Unit tests for the sequential-consistency checker."""
+
+import pytest
+
+from repro.checker.history import History
+from repro.checker.sequential_checker import check_sequential
+
+
+class TestPositiveCases:
+    def test_single_process_always_sc_if_register_valid(self):
+        history = History.parse("P1: w(x)1 r(x)1 w(x)2 r(x)2")
+        assert check_sequential(history).ok
+
+    def test_message_passing_pattern(self):
+        history = History.parse("""
+            P1: w(x)1 w(y)2
+            P2: r(y)2 r(x)1
+        """)
+        assert check_sequential(history).ok
+
+    def test_figure2_is_sequentially_consistent(self, figure2):
+        # Causal memory admits SC executions; Figure 2 happens to be one.
+        assert check_sequential(figure2, want_witness=False).ok
+
+    def test_witness_is_a_legal_serialization(self):
+        history = History.parse("""
+            P1: w(x)1 r(y)2
+            P2: w(y)2 r(x)1
+        """)
+        result = check_sequential(history)
+        assert result.ok
+        witness = result.witness
+        assert witness is not None
+        # Witness respects program order.
+        positions = {op.op_id: i for i, op in enumerate(witness)}
+        for proc_ops in history.processes:
+            for earlier, later in zip(proc_ops, proc_ops[1:]):
+                assert positions[earlier.op_id] < positions[later.op_id]
+        # Witness satisfies the register property.
+        memory = {}
+        for op in witness:
+            if op.is_write:
+                memory[op.location] = op.write_id
+            else:
+                assert memory.get(op.location, op.read_from) == op.read_from
+
+    def test_want_witness_false_returns_none(self):
+        history = History.parse("P1: w(x)1 r(x)1")
+        result = check_sequential(history, want_witness=False)
+        assert result.ok and result.witness is None
+
+
+class TestNegativeCases:
+    def test_figure5_not_sequentially_consistent(self, figure5):
+        result = check_sequential(figure5)
+        assert not result.ok
+        assert "NOT" in result.explain()
+
+    def test_figure3_not_sequentially_consistent(self, figure3):
+        assert not check_sequential(figure3, want_witness=False).ok
+
+    def test_stale_read_after_overwrite(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2
+            P2: r(x)2 r(x)1
+        """)
+        assert not check_sequential(history).ok
+
+    def test_readers_disagree_on_write_order(self):
+        history = History.parse("""
+            P1: w(x)1
+            P2: w(x)2
+            P3: r(x)1 r(x)2
+            P4: r(x)2 r(x)1
+        """)
+        assert not check_sequential(history, want_witness=False).ok
+
+
+class TestSearchControls:
+    def test_states_explored_reported(self, figure5):
+        result = check_sequential(figure5)
+        assert result.states_explored > 0
+
+    def test_max_states_guard(self):
+        # A history with lots of independent writes explodes the state
+        # space; a tiny budget must trip the guard.
+        lines = [
+            f"P{p + 1}: " + " ".join(f"w(l{p}_{i}){i}" for i in range(6))
+            for p in range(4)
+        ]
+        history = History.parse("\n".join(lines))
+        with pytest.raises(RuntimeError, match="exceeded"):
+            check_sequential(history, max_states=10)
+
+    def test_explain_mentions_witness(self):
+        history = History.parse("P1: w(x)1")
+        assert "witness" in check_sequential(history).explain()

@@ -1,0 +1,83 @@
+"""Unit tests for the slow-memory checker (the authors' 1990 model)."""
+
+from repro.checker import History, check_causal, check_slow
+
+
+class TestPositiveCases:
+    def test_stale_but_monotone_is_slow(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2
+            P2: r(x)1 r(x)1 r(x)2
+        """)
+        assert check_slow(history).ok
+
+    def test_arbitrary_staleness_allowed(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2 w(x)3
+            P2: r(x)0 r(x)0
+        """)
+        assert check_slow(history).ok
+
+    def test_interleaving_writers_freely_is_slow(self):
+        # Slow memory imposes no cross-writer order at all.
+        history = History.parse("""
+            P1: w(x)1 w(x)3
+            P2: w(x)2 w(x)4
+            P3: r(x)3 r(x)2 r(x)1
+        """)
+        # 3 then 2 is fine (different writers); 2 then 1 is fine too
+        # (writer P1's position regressed? no: 3 was P1's pos 2, then 1
+        # is P1's pos 1 -> regression!) -- so this one actually fails:
+        assert not check_slow(history).ok
+
+    def test_cross_writer_interleaving_without_regression(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)3
+            P2: w(x)2 w(x)4
+            P3: r(x)3 r(x)2 r(x)4
+        """)
+        assert check_slow(history).ok
+
+    def test_figure5_is_slow(self, figure5):
+        assert check_slow(figure5).ok
+
+    def test_figure2_is_slow(self, figure2):
+        assert check_slow(figure2).ok
+
+
+class TestNegativeCases:
+    def test_single_writer_regression_fails(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2
+            P2: r(x)2 r(x)1
+        """)
+        result = check_slow(history)
+        assert not result.ok
+        assert result.failures == ((1, 1),)
+        assert "P2" in result.explain()
+
+    def test_read_own_overwritten_write_fails(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2 r(x)1
+        """)
+        assert not check_slow(history).ok
+
+    def test_read_initial_after_own_write_fails(self):
+        history = History.parse("P1: w(x)1 r(x)0")
+        assert not check_slow(history).ok
+
+
+class TestHierarchy:
+    def test_causal_implies_slow_on_examples(self, figure1, figure2, figure5):
+        for history in (figure1, figure2, figure5):
+            assert check_causal(history).ok
+            assert check_slow(history).ok
+
+    def test_slow_does_not_imply_causal(self):
+        history = History.parse("""
+            P1: w(x)1
+            P2: r(x)1 w(y)2
+            P3: r(y)2 r(x)0
+        """)
+        assert check_slow(history).ok
+        assert not check_causal(history).ok

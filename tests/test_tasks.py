@@ -1,0 +1,251 @@
+"""Unit tests for futures and generator tasks (blocking semantics)."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.tasks import Future, TaskScheduler, gather, sleep
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def sched(sim):
+    return TaskScheduler(sim)
+
+
+class TestFuture:
+    def test_resolve_and_result(self):
+        future = Future()
+        future.resolve(42)
+        assert future.resolved
+        assert future.result() == 42
+
+    def test_result_before_resolution_raises(self):
+        with pytest.raises(SimulationError):
+            Future().result()
+
+    def test_double_resolve_rejected(self):
+        future = Future()
+        future.resolve(1)
+        with pytest.raises(SimulationError):
+            future.resolve(2)
+
+    def test_fail_then_result_raises_stored_exception(self):
+        future = Future()
+        future.fail(ValueError("boom"))
+        assert future.failed
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+    def test_callbacks_run_in_registration_order(self):
+        future = Future()
+        order = []
+        future.add_done_callback(lambda f: order.append(1))
+        future.add_done_callback(lambda f: order.append(2))
+        future.resolve(None)
+        assert order == [1, 2]
+
+    def test_callback_on_already_resolved_runs_immediately(self):
+        future = Future()
+        future.resolve(5)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == [5]
+
+    def test_exception_accessor(self):
+        future = Future()
+        error = RuntimeError("x")
+        future.fail(error)
+        assert future.exception() is error
+
+
+class TestTask:
+    def test_task_returns_generator_value(self, sim, sched):
+        def proc():
+            return 99
+            yield  # pragma: no cover
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.result() == 99
+
+    def test_task_waits_on_future(self, sim, sched):
+        future = Future()
+        sim.schedule(5.0, lambda: future.resolve("hello"))
+
+        def proc():
+            value = yield future
+            return (value, sim.now)
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.result() == ("hello", 5.0)
+
+    def test_yield_none_is_cooperative_yield(self, sim, sched):
+        order = []
+
+        def proc_a():
+            order.append("a1")
+            yield
+            order.append("a2")
+
+        def proc_b():
+            order.append("b1")
+            yield
+            order.append("b2")
+
+        sched.spawn(proc_a())
+        sched.spawn(proc_b())
+        sim.run()
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_yield_from_composition(self, sim, sched):
+        def helper():
+            value = yield sleep(sim, 1.0)
+            return 7
+
+        def proc():
+            result = yield from helper()
+            return result + 1
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.result() == 8
+
+    def test_task_exception_propagates_via_run_all(self, sim, sched):
+        def proc():
+            yield sleep(sim, 1.0)
+            raise ValueError("task blew up")
+
+        sched.spawn(proc())
+        with pytest.raises(ValueError, match="task blew up"):
+            sched.run_all()
+
+    def test_failed_future_raises_inside_task(self, sim, sched):
+        future = Future()
+        sim.schedule(1.0, lambda: future.fail(KeyError("missing")))
+        caught = []
+
+        def proc():
+            try:
+                yield future
+            except KeyError as exc:
+                caught.append(exc)
+            return "recovered"
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.result() == "recovered"
+        assert len(caught) == 1
+
+    def test_invalid_yield_value_fails_task(self, sim, sched):
+        def proc():
+            yield 12345
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.failed
+
+    def test_tasks_wait_on_each_other(self, sim, sched):
+        def producer():
+            yield sleep(sim, 2.0)
+            return "payload"
+
+        producer_task = sched.spawn(producer())
+
+        def consumer():
+            value = yield producer_task
+            return value.upper()
+
+        consumer_task = sched.spawn(consumer())
+        sim.run()
+        assert consumer_task.result() == "PAYLOAD"
+
+    def test_kill_terminates_task(self, sim, sched):
+        def proc():
+            yield Future()  # never resolved
+
+        task = sched.spawn(proc())
+        sim.run()
+        task.kill()
+        assert task.failed
+
+    def test_default_names_unique(self, sched):
+        def proc():
+            return None
+            yield  # pragma: no cover
+
+        a = sched.spawn(proc())
+        b = sched.spawn(proc())
+        assert a.name != b.name
+
+
+class TestSchedulerLifecycle:
+    def test_deadlock_detected(self, sim, sched):
+        def proc():
+            yield Future(label="never")
+
+        sched.spawn(proc(), name="stuck")
+        with pytest.raises(DeadlockError) as excinfo:
+            sched.run_all()
+        assert "stuck" in str(excinfo.value)
+
+    def test_run_all_with_until_does_not_raise_deadlock(self, sim, sched):
+        def proc():
+            yield Future()
+
+        sched.spawn(proc())
+        sched.run_all(until=10.0)  # no exception
+
+    def test_unfinished_lists_blocked_tasks(self, sim, sched):
+        def done():
+            return 1
+            yield  # pragma: no cover
+
+        def stuck():
+            yield Future()
+
+        sched.spawn(done())
+        blocked = sched.spawn(stuck())
+        sim.run()
+        assert sched.unfinished() == [blocked]
+
+
+class TestCombinators:
+    def test_sleep_resolves_after_duration(self, sim, sched):
+        def proc():
+            yield sleep(sim, 3.5)
+            return sim.now
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.result() == 3.5
+
+    def test_gather_collects_in_input_order(self, sim, sched):
+        slow, fast = Future(), Future()
+        sim.schedule(5.0, lambda: slow.resolve("slow"))
+        sim.schedule(1.0, lambda: fast.resolve("fast"))
+
+        def proc():
+            values = yield gather([slow, fast])
+            return values
+
+        task = sched.spawn(proc())
+        sim.run()
+        assert task.result() == ["slow", "fast"]
+
+    def test_gather_empty_resolves_immediately(self):
+        combined = gather([])
+        assert combined.resolved
+        assert combined.result() == []
+
+    def test_gather_fails_fast(self, sim, sched):
+        bad, never = Future(), Future()
+        sim.schedule(1.0, lambda: bad.fail(RuntimeError("nope")))
+        combined = gather([bad, never])
+        sim.run()
+        assert combined.failed

@@ -1,0 +1,114 @@
+"""Unit tests for message tracing and counters."""
+
+from repro.sim.trace import (
+    MessageRecord,
+    MessageTrace,
+    NetworkStats,
+    per_node_counts,
+)
+
+
+def record(seq=1, src=0, dst=1, kind="READ", sent=0.0, delivered=1.0,
+           dropped=False):
+    return MessageRecord(
+        seq=seq, src=src, dst=dst, kind=kind, payload=None,
+        sent_at=sent, delivered_at=delivered, dropped=dropped,
+    )
+
+
+class TestNetworkStats:
+    def test_counters_accumulate(self):
+        stats = NetworkStats()
+        stats.record(record(kind="READ"))
+        stats.record(record(seq=2, kind="READ", src=1, dst=0))
+        stats.record(record(seq=3, kind="WRITE"))
+        assert stats.total == 3
+        assert stats.count("READ") == 2
+        assert stats.count() == 3
+        assert stats.by_pair[(0, 1)] == 2
+
+    def test_dropped_not_counted_as_delivered(self):
+        stats = NetworkStats()
+        stats.record(record(dropped=True))
+        assert stats.total == 0
+        assert stats.dropped == 1
+
+    def test_mean_latency(self):
+        stats = NetworkStats()
+        stats.record(record(sent=0.0, delivered=1.0))
+        stats.record(record(seq=2, sent=0.0, delivered=3.0))
+        assert stats.mean_latency == 2.0
+
+    def test_mean_latency_empty_is_zero(self):
+        assert NetworkStats().mean_latency == 0.0
+
+    def test_snapshot_and_delta(self):
+        stats = NetworkStats()
+        stats.record(record(kind="READ"))
+        before = stats.snapshot(time=1.0)
+        stats.record(record(seq=2, kind="WRITE"))
+        stats.record(record(seq=3, kind="WRITE", src=1, dst=0))
+        after = stats.snapshot(time=2.0)
+        delta = after.delta(before)
+        assert delta.total == 2
+        assert delta.by_kind == {"WRITE": 2}
+        assert "READ" not in delta.by_kind  # unchanged keys removed
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = NetworkStats()
+        stats.record(record())
+        snap = stats.snapshot(time=0.0)
+        stats.record(record(seq=2))
+        assert snap.total == 1
+
+
+class TestMessageTrace:
+    def test_records_in_order(self):
+        trace = MessageTrace()
+        trace.record(record(seq=1))
+        trace.record(record(seq=2))
+        assert [r.seq for r in trace] == [1, 2]
+        assert len(trace) == 2
+
+    def test_disabled_trace_ignores_records(self):
+        trace = MessageTrace(enabled=False)
+        trace.record(record())
+        assert len(trace) == 0
+
+    def test_of_kind_filter(self):
+        trace = MessageTrace()
+        trace.record(record(seq=1, kind="READ"))
+        trace.record(record(seq=2, kind="WRITE"))
+        assert [r.seq for r in trace.of_kind("WRITE")] == [2]
+
+    def test_between_filter(self):
+        trace = MessageTrace()
+        trace.record(record(seq=1, src=0, dst=1))
+        trace.record(record(seq=2, src=1, dst=0))
+        assert [r.seq for r in trace.between(1, 0)] == [2]
+
+    def test_kinds_first_seen_order(self):
+        trace = MessageTrace()
+        trace.record(record(seq=1, kind="B"))
+        trace.record(record(seq=2, kind="A"))
+        trace.record(record(seq=3, kind="B"))
+        assert trace.kinds() == ["B", "A"]
+
+    def test_summarize_mentions_counts(self):
+        trace = MessageTrace()
+        trace.record(record(kind="READ"))
+        trace.record(record(seq=2, kind="READ"))
+        summary = trace.summarize()
+        assert "2 messages" in summary
+        assert "READ=2" in summary
+
+
+class TestHelpers:
+    def test_per_node_counts_includes_silent_nodes(self):
+        stats = NetworkStats()
+        stats.record(record(src=0))
+        counts = per_node_counts(stats, [0, 1, 2])
+        assert counts == {0: 1, 1: 0, 2: 0}
+
+    def test_record_latency_property(self):
+        assert record(sent=1.0, delivered=4.0).latency == 3.0

@@ -1,0 +1,113 @@
+"""Unit tests for the wait(B) strategies (oracle and polling)."""
+
+from repro.apps.waiting import oracle_wait, polling_wait
+from repro.memory import Namespace
+from repro.protocols.base import DSMCluster
+from repro.sim.tasks import sleep
+
+
+def make_cluster():
+    namespace = Namespace.explicit(2, {"flag": 0})
+    return DSMCluster(2, protocol="causal", namespace=namespace)
+
+
+class TestOracleWait:
+    def test_returns_satisfying_value(self):
+        cluster = make_cluster()
+
+        def waiter(api):
+            value = yield from oracle_wait(
+                cluster, api, "flag", lambda v: v == 3
+            )
+            return (value, cluster.sim.now)
+
+        def setter(api):
+            yield sleep(cluster.sim, 5.0)
+            yield api.write("flag", 3)
+
+        task = cluster.spawn(1, waiter)
+        cluster.spawn(0, setter)
+        cluster.run()
+        value, when = task.result()
+        assert value == 3
+        assert when > 5.0
+
+    def test_costs_one_round_trip_for_remote_waiter(self):
+        cluster = make_cluster()
+
+        def waiter(api):
+            yield from oracle_wait(cluster, api, "flag", lambda v: v == 1)
+
+        def setter(api):
+            yield api.write("flag", 1)
+
+        cluster.spawn(1, waiter)
+        cluster.spawn(0, setter)
+        cluster.run()
+        assert cluster.stats.total == 2  # one discard+read refetch
+
+    def test_free_for_owner_waiter(self):
+        cluster = make_cluster()
+
+        def waiter(api):
+            value = yield from oracle_wait(
+                cluster, api, "flag", lambda v: v == 1
+            )
+            return value
+
+        def remote_setter(api):
+            yield sleep(cluster.sim, 2.0)
+            yield api.write("flag", 1)
+
+        task = cluster.spawn(0, waiter)  # node 0 owns flag
+        cluster.spawn(1, remote_setter)
+        cluster.run()
+        assert task.result() == 1
+        # Only the remote write's 2 messages; the owner's wait was free.
+        assert cluster.stats.total == 2
+
+
+class TestPollingWait:
+    def test_polls_until_satisfied(self):
+        cluster = make_cluster()
+
+        def waiter(api):
+            value = yield from polling_wait(
+                api, "flag", lambda v: v == 1, period=2.0
+            )
+            return (value, cluster.sim.now)
+
+        def setter(api):
+            yield sleep(cluster.sim, 9.0)
+            yield api.write("flag", 1)
+
+        task = cluster.spawn(1, waiter)
+        cluster.spawn(0, setter)
+        cluster.run()
+        value, when = task.result()
+        assert value == 1
+        assert when >= 9.0
+        # Multiple failed polls cost message pairs.
+        assert cluster.stats.total > 2
+
+    def test_immediate_success_costs_one_fetch(self):
+        cluster = make_cluster()
+
+        def setter_then_waiter():
+            def setter(api):
+                yield api.write("flag", 1)
+
+            def waiter(api):
+                yield sleep(cluster.sim, 5.0)
+                value = yield from polling_wait(
+                    api, "flag", lambda v: v == 1, period=1.0
+                )
+                return value
+
+            cluster.spawn(0, setter)
+            return cluster.spawn(1, waiter)
+
+        task = setter_then_waiter()
+        cluster.run()
+        assert task.result() == 1
+        assert cluster.stats.total == 2

@@ -1,0 +1,81 @@
+"""Unit tests for the random workload generator."""
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import check_causal
+
+
+class TestConfig:
+    def test_location_names(self):
+        assert WorkloadConfig().location(3) == "loc3"
+
+    def test_defaults_reasonable(self):
+        config = WorkloadConfig()
+        assert config.n_nodes >= 2
+        assert 0 <= config.read_fraction <= 1
+
+
+class TestExecution:
+    def test_history_has_expected_op_counts(self):
+        config = WorkloadConfig(n_nodes=3, ops_per_proc=10, seed=1)
+        outcome = run_random_execution(config)
+        history = outcome.history
+        assert history.n_procs == 3
+        # discards add an extra read, so ops_per_proc is a lower bound
+        for ops in history.processes:
+            assert len(ops) >= 10
+
+    def test_write_values_globally_unique(self):
+        outcome = run_random_execution(
+            WorkloadConfig(n_nodes=4, ops_per_proc=20, seed=2)
+        )
+        writes = outcome.history.writes(include_init=False)
+        values = [w.value for w in writes]
+        assert len(values) == len(set(values))
+
+    def test_same_seed_same_outcome(self):
+        config = WorkloadConfig(n_nodes=3, ops_per_proc=15, seed=3)
+        a = run_random_execution(config)
+        b = run_random_execution(config)
+        assert a.history.to_text() == b.history.to_text()
+        assert a.total_messages == b.total_messages
+
+    def test_different_seeds_differ(self):
+        a = run_random_execution(WorkloadConfig(seed=1))
+        b = run_random_execution(WorkloadConfig(seed=2))
+        assert a.history.to_text() != b.history.to_text()
+
+    def test_counters_populated(self):
+        outcome = run_random_execution(
+            WorkloadConfig(n_nodes=3, ops_per_proc=30, seed=4)
+        )
+        assert outcome.total_messages > 0
+        assert outcome.elapsed_sim_time > 0
+
+    def test_think_time_spreads_execution(self):
+        fast = run_random_execution(
+            WorkloadConfig(n_nodes=2, ops_per_proc=10, seed=5)
+        )
+        slow = run_random_execution(
+            WorkloadConfig(n_nodes=2, ops_per_proc=10, seed=5, think_time=10.0)
+        )
+        assert slow.elapsed_sim_time > fast.elapsed_sim_time
+
+    def test_pure_reader_workload(self):
+        outcome = run_random_execution(
+            WorkloadConfig(
+                n_nodes=2, ops_per_proc=10, seed=6,
+                read_fraction=1.0, discard_fraction=0.0,
+            )
+        )
+        assert not outcome.history.writes(include_init=False)
+        assert check_causal(outcome.history).ok
+
+    def test_pure_writer_workload(self):
+        outcome = run_random_execution(
+            WorkloadConfig(
+                n_nodes=2, ops_per_proc=10, seed=7,
+                read_fraction=0.0, discard_fraction=0.0,
+            )
+        )
+        assert not outcome.history.reads()
+        assert check_causal(outcome.history).ok

@@ -1,0 +1,146 @@
+"""Unit tests for the PRAM and coherence checkers, and hierarchy facts."""
+
+from repro.checker import (
+    History,
+    check_causal,
+    check_coherence,
+    check_pram,
+    check_sequential,
+)
+
+
+class TestPram:
+    def test_simple_pram_history(self):
+        history = History.parse("""
+            P1: w(x)1
+            P2: r(x)1
+        """)
+        assert check_pram(history).ok
+
+    def test_pram_but_not_causal(self):
+        # P3 sees the writes in an order inconsistent with causality but
+        # consistent per-writer (PRAM only tracks per-process order).
+        history = History.parse("""
+            P1: w(x)1
+            P2: r(x)1 w(y)2
+            P3: r(y)2 r(x)0
+        """)
+        assert check_pram(history).ok
+        assert not check_causal(history).ok
+
+    def test_violating_per_writer_order_fails_pram(self):
+        history = History.parse("""
+            P1: w(x)1 w(x)2
+            P2: r(x)2 r(x)1
+        """)
+        result = check_pram(history)
+        assert not result.ok
+        assert 1 in result.failing_processes
+        assert "P2" in result.explain()
+
+    def test_figure5_is_pram(self, figure5):
+        assert check_pram(figure5).ok
+
+    def test_explain_ok(self):
+        assert "PRAM" in check_pram(History.parse("P1: w(x)1")).explain()
+
+
+class TestCoherence:
+    def test_per_location_order_respected(self):
+        history = History.parse("""
+            P1: w(x)1 w(y)1
+            P2: r(y)1 r(x)0
+        """)
+        # Not causal/SC but per-location orders are fine.
+        assert check_coherence(history).ok
+
+    def test_flip_flop_on_one_location_fails(self):
+        history = History.parse("""
+            P1: w(x)1
+            P2: w(x)2
+            P3: r(x)1 r(x)2
+            P4: r(x)2 r(x)1
+        """)
+        result = check_coherence(history)
+        assert not result.ok
+        assert result.failing_locations == ("x",)
+        assert "x" in result.explain()
+
+    def test_figure2_not_coherent(self, figure2):
+        # Figure 2's readers disagree on the concurrent x-writes... they
+        # actually don't: check what the checker says and that it agrees
+        # with an SC check of the x-projection.
+        result = check_coherence(figure2)
+        assert result.ok == check_sequential(
+            _project(figure2, "x"), want_witness=False
+        ).ok
+
+
+def _project(history, location):
+    rows = []
+    for ops in history.processes:
+        rows.append(
+            " ".join(
+                f"{op.kind}({op.location}){op.value}"
+                for op in ops
+                if op.location == location
+            )
+        )
+    text = "\n".join(
+        f"P{i + 1}: {row}" for i, row in enumerate(rows) if row
+    )
+    return History.parse(text)
+
+
+class TestHierarchy:
+    """SC => causal => PRAM on a spread of small histories."""
+
+    HISTORIES = [
+        "P1: w(x)1 r(x)1",
+        """
+        P1: w(x)1 w(y)2
+        P2: r(y)2 r(x)1
+        """,
+        """
+        P1: r(y)0 w(x)1 r(y)0
+        P2: r(x)0 w(y)1 r(x)0
+        """,
+        """
+        P1: w(x)2 w(y)2 w(y)3 r(z)5 w(x)4
+        P2: w(x)1 r(y)3 w(x)7 w(z)5 r(x)4 r(x)9
+        P3: r(z)5 w(x)9
+        """,
+        """
+        P1: w(x)5 w(y)3
+        P2: w(x)2 r(y)3 r(x)5 w(z)4
+        P3: r(z)4 r(x)2
+        """,
+        """
+        P1: w(x)1
+        P2: r(x)1 w(x)2
+        P3: r(x)2 r(x)1
+        """,
+    ]
+
+    def test_sc_implies_causal_implies_pram(self):
+        for text in self.HISTORIES:
+            history = History.parse(text)
+            sc = check_sequential(history, want_witness=False).ok
+            causal = check_causal(history).ok
+            pram = check_pram(history).ok
+            if sc:
+                assert causal, f"SC but not causal:\n{history.to_text()}"
+            if causal:
+                assert pram, f"causal but not PRAM:\n{history.to_text()}"
+
+    def test_separations_exist(self):
+        verdicts = [
+            (
+                check_sequential(History.parse(t), want_witness=False).ok,
+                check_causal(History.parse(t)).ok,
+                check_pram(History.parse(t)).ok,
+            )
+            for t in self.HISTORIES
+        ]
+        assert (False, True, True) in verdicts   # causal, not SC
+        assert (False, False, True) in verdicts  # PRAM, not causal
