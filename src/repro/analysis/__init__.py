@@ -7,8 +7,12 @@
 :mod:`repro.analysis.tables`
     Minimal ASCII/markdown table rendering used by the CLI, the
     benchmarks, and EXPERIMENTS.md generation.
+:mod:`repro.analysis.benchjson`
+    The persistent substrate-benchmark trajectory behind
+    ``python -m repro.bench`` (``BENCH_substrate.json``).
 """
 
+from repro.analysis.benchjson import BenchRecord, BenchTrajectory
 from repro.analysis.message_model import (
     atomic_messages_lower_bound,
     causal_messages_per_processor,
@@ -19,6 +23,8 @@ from repro.analysis.results import ResultDelta, ResultsStore
 from repro.analysis.tables import Table
 
 __all__ = [
+    "BenchRecord",
+    "BenchTrajectory",
     "ResultsStore",
     "ResultDelta",
     "causal_messages_per_processor",

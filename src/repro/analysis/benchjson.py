@@ -1,0 +1,156 @@
+"""Persistent benchmark trajectory (``BENCH_substrate.json``).
+
+The reproduction's instruments — kernel, protocol engines, checkers —
+are themselves performance-sensitive: a silent 10x regression in any of
+them guts the property-test coverage and caps the ``n`` the message-count
+experiments can reach.  ``python -m repro.bench`` measures them and
+*appends* to a JSON trajectory file, so every PR leaves a dated record
+and regressions are visible as a series, not a single overwritable
+number.
+
+Schema (``schema`` is bumped on incompatible change)::
+
+    {
+      "schema": 1,
+      "runs": [
+        {
+          "label": "<free-form run label>",
+          "timestamp": "<ISO-8601 UTC>",
+          "smoke": false,
+          "metrics": {
+            "kernel": {"events_per_sec": ..., "events": ...},
+            "protocol": {"n=4": {"ops_per_sec": ..., "messages": ...,
+                                  "sweeps_performed": ...,
+                                  "sweeps_skipped": ...,
+                                  "invalidations": ...}, ...},
+            "checker": {"n=4": {"ops_per_sec": ..., "ops": ...}, ...}
+          }
+        }, ...
+      ]
+    }
+
+Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
+the file diffs cleanly and loads without custom decoding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark run: a label, a timestamp, and a metrics tree."""
+
+    label: str
+    timestamp: str
+    metrics: Dict[str, Any]
+    smoke: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used in the JSON file."""
+        return {
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "smoke": self.smoke,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchRecord":
+        """Inverse of :meth:`as_dict`; validates required keys."""
+        try:
+            return cls(
+                label=str(payload["label"]),
+                timestamp=str(payload["timestamp"]),
+                smoke=bool(payload.get("smoke", False)),
+                metrics=dict(payload["metrics"]),
+            )
+        except (KeyError, TypeError) as error:
+            raise ReproError(f"malformed bench record: {error!r}") from error
+
+
+@dataclass
+class BenchTrajectory:
+    """The append-only series of benchmark runs."""
+
+    runs: List[BenchRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "BenchTrajectory":
+        """Read a trajectory; a missing file yields an empty trajectory."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        try:
+            payload = json.loads(file.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ReproError(f"malformed bench JSON {file}: {error}") from error
+        if not isinstance(payload, dict) or "runs" not in payload:
+            raise ReproError(f"{file} is not a bench trajectory (no 'runs')")
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ReproError(
+                f"{file} has schema {payload.get('schema')!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        return cls(runs=[BenchRecord.from_dict(run) for run in payload["runs"]])
+
+    def save(self, path) -> None:
+        """Write the trajectory (stable key order, trailing newline)."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "runs": [run.as_dict() for run in self.runs],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    # Recording and introspection
+    # ------------------------------------------------------------------
+    def append(self, record: BenchRecord) -> None:
+        """Add one run to the series."""
+        self.runs.append(record)
+
+    def latest(self) -> Optional[BenchRecord]:
+        """The most recent run, or None when empty."""
+        return self.runs[-1] if self.runs else None
+
+    def metric_series(self, *path: str) -> List[Any]:
+        """The value at a metric path across all runs (missing -> None).
+
+        >>> t = BenchTrajectory()
+        >>> t.append(BenchRecord("a", "t0", {"kernel": {"events_per_sec": 2.0}}))
+        >>> t.metric_series("kernel", "events_per_sec")
+        [2.0]
+        """
+        series: List[Any] = []
+        for run in self.runs:
+            node: Any = run.metrics
+            for key in path:
+                if not isinstance(node, dict) or key not in node:
+                    node = None
+                    break
+                node = node[key]
+            series.append(node)
+        return series
+
+    def speedup(self, *path: str) -> Optional[float]:
+        """latest/first ratio of a throughput metric, or None if undefined."""
+        series = [v for v in self.metric_series(*path) if isinstance(v, (int, float))]
+        if len(series) < 2 or not series[0]:
+            return None
+        return series[-1] / series[0]

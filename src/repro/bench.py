@@ -1,0 +1,293 @@
+"""``python -m repro.bench`` — the substrate performance runner.
+
+Measures the reproduction's own instruments end-to-end and appends the
+numbers to a persistent JSON trajectory (``BENCH_substrate.json``, see
+:mod:`repro.analysis.benchjson`):
+
+* **kernel** — discrete-event throughput of :class:`~repro.sim.kernel.Simulator`
+  on a self-rescheduling tick chain;
+* **protocol** — application operation throughput of the Figure 4 causal
+  owner protocol on a mixed read/write workload, at n ∈ {4, 8, 16}
+  processors, including invalidation-sweep counters (performed vs
+  skipped by the watermark) pulled from every node's
+  :class:`~repro.memory.local_store.LocalStore`;
+* **checker** — Definition 2 verification throughput of
+  :func:`~repro.checker.check_causal` over recorded random executions.
+
+``--smoke`` shrinks the workloads so the whole run finishes in a few
+seconds — that mode is exercised by the tier-1 test suite, keeping the
+runner itself from bit-rotting.
+
+Examples
+--------
+::
+
+    python -m repro.bench                       # full run, appends
+    python -m repro.bench --smoke --label pr2   # quick, labelled
+    repro-bench --output BENCH_substrate.json   # console-script form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.benchjson import BenchRecord, BenchTrajectory
+from repro.errors import ReproError
+
+__all__ = ["run_suite", "main", "DEFAULT_OUTPUT", "DEFAULT_NODE_COUNTS"]
+
+DEFAULT_OUTPUT = "BENCH_substrate.json"
+DEFAULT_NODE_COUNTS = (4, 8, 16)
+
+
+# ----------------------------------------------------------------------
+# Individual measurements
+# ----------------------------------------------------------------------
+def _best_of(func, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``func`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_kernel(events: int, repeats: int) -> Dict[str, Any]:
+    """Self-rescheduling tick chain through the simulator."""
+    from repro.sim.kernel import Simulator
+
+    def run() -> None:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < events:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert count[0] == events
+
+    elapsed = _best_of(run, repeats)
+    return {"events": events, "events_per_sec": events / elapsed}
+
+
+def bench_protocol(
+    n_nodes: int, ops_per_proc: int, repeats: int
+) -> Dict[str, Any]:
+    """Mixed read/write workload on the causal owner protocol."""
+    from repro.protocols.base import DSMCluster
+
+    n_locations = 2 * n_nodes
+    outcome: Dict[str, Any] = {}
+
+    def run() -> None:
+        cluster = DSMCluster(n_nodes, protocol="causal", record_history=False)
+
+        def process(api, me):
+            for i in range(ops_per_proc):
+                location = f"loc{(me + i) % n_locations}"
+                if i % 3 == 0:
+                    yield api.write(location, i)
+                else:
+                    yield api.read(location)
+
+        for node in range(n_nodes):
+            cluster.spawn(node, process, node)
+        cluster.run()
+        outcome["messages"] = cluster.stats.total
+        # getattr defaults let the runner measure historical revisions
+        # whose stores predate the sweep counters.
+        outcome["sweeps_performed"] = sum(
+            getattr(node.store, "sweeps_performed", 0) for node in cluster.nodes
+        )
+        outcome["sweeps_skipped"] = sum(
+            getattr(node.store, "sweeps_skipped", 0) for node in cluster.nodes
+        )
+        outcome["invalidations"] = sum(
+            node.store.invalidation_count for node in cluster.nodes
+        )
+
+    elapsed = _best_of(run, repeats)
+    total_ops = n_nodes * ops_per_proc
+    return {
+        "ops": total_ops,
+        "ops_per_sec": total_ops / elapsed,
+        "messages": outcome["messages"],
+        "sweeps_performed": outcome["sweeps_performed"],
+        "sweeps_skipped": outcome["sweeps_skipped"],
+        "invalidations": outcome["invalidations"],
+    }
+
+
+def bench_checker(n_nodes: int, ops_per_proc: int, repeats: int) -> Dict[str, Any]:
+    """Definition 2 verification of a recorded random execution."""
+    from repro.apps.workload import WorkloadConfig, run_random_execution
+    from repro.checker import check_causal
+
+    outcome = run_random_execution(
+        WorkloadConfig(
+            n_nodes=n_nodes,
+            n_locations=6,
+            ops_per_proc=ops_per_proc,
+            seed=2,
+        )
+    )
+    total_ops = len(outcome.history)
+
+    def run() -> None:
+        result = check_causal(outcome.history)
+        assert result.ok
+
+    elapsed = _best_of(run, repeats)
+    return {"ops": total_ops, "ops_per_sec": total_ops / elapsed}
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+def run_suite(
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    smoke: bool = False,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run every substrate benchmark; returns the metrics tree.
+
+    ``smoke`` shrinks workload sizes and repeats so the suite finishes in
+    seconds (the mode tier-1 tests run).  ``progress`` is an optional
+    ``callable(str)`` for per-section status lines.
+    """
+    say = progress or (lambda message: None)
+    # Best-of-5 in full mode: the trajectory is compared across PRs, so
+    # robustness to background load beats wall-clock frugality here.
+    repeats = 1 if smoke else 5
+    kernel_events = 20_000 if smoke else 100_000
+    protocol_ops = 50 if smoke else 200
+    checker_ops = 40 if smoke else 200
+
+    say(f"kernel: {kernel_events} events x{repeats}")
+    metrics: Dict[str, Any] = {
+        "kernel": bench_kernel(kernel_events, repeats),
+        "protocol": {},
+        "checker": {},
+    }
+    for n in node_counts:
+        say(f"protocol: n={n}, {protocol_ops} ops/proc x{repeats}")
+        metrics["protocol"][f"n={n}"] = bench_protocol(n, protocol_ops, repeats)
+    for n in node_counts:
+        say(f"checker: n={n}, {checker_ops} ops/proc x{repeats}")
+        metrics["checker"][f"n={n}"] = bench_checker(n, checker_ops, repeats)
+    return metrics
+
+
+def _format_summary(metrics: Dict[str, Any]) -> List[str]:
+    lines = [
+        f"kernel            {metrics['kernel']['events_per_sec']:>12,.0f} events/s"
+    ]
+    for group in ("protocol", "checker"):
+        for key, data in metrics[group].items():
+            extra = ""
+            if "sweeps_performed" in data:
+                extra = (
+                    f"  (sweeps {data['sweeps_performed']}"
+                    f"+{data['sweeps_skipped']} skipped,"
+                    f" {data['invalidations']} invalidations)"
+                )
+            lines.append(
+                f"{group} {key:<8} {data['ops_per_sec']:>12,.0f} ops/s{extra}"
+            )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"need a positive node count, got {text}")
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Benchmark the reproduction's simulation substrate (kernel, "
+            "causal protocol, causal checker) and append the results to a "
+            "persistent JSON trajectory."
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=DEFAULT_OUTPUT,
+        help=f"trajectory file to append to (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--label",
+        default="",
+        help="free-form label recorded with this run (e.g. a PR id)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads; finishes in seconds (used by tier-1 tests)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=_positive_int,
+        nargs="+",
+        default=list(DEFAULT_NODE_COUNTS),
+        metavar="N",
+        help="processor counts to benchmark (default: 4 8 16)",
+    )
+    parser.add_argument(
+        "--no-save",
+        action="store_true",
+        help="print the numbers without touching the trajectory file",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    trajectory: Optional[BenchTrajectory] = None
+    if not args.no_save:
+        # Load (and validate) the trajectory up front: a corrupt file
+        # should fail in milliseconds, not after a minutes-long run.
+        try:
+            trajectory = BenchTrajectory.load(args.output)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    metrics = run_suite(
+        node_counts=tuple(args.nodes),
+        smoke=args.smoke,
+        progress=lambda message: print(f"... {message}", file=sys.stderr),
+    )
+    record = BenchRecord(
+        label=args.label or ("smoke" if args.smoke else "full"),
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        smoke=args.smoke,
+        metrics=metrics,
+    )
+    for line in _format_summary(metrics):
+        print(line)
+    if trajectory is None:
+        return 0
+    trajectory.append(record)
+    trajectory.save(args.output)
+    print(f"appended run {len(trajectory.runs)} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,14 +22,31 @@ reachability to those predecessors.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.checker.history import History, INIT_PROC, Operation
 from repro.errors import CheckError
 
-__all__ = ["CausalOrder", "CausalityCycleError"]
+__all__ = ["CausalOrder", "CausalityCycleError", "LocationOps"]
 
 OpId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LocationOps:
+    """Bitset view of all operations touching one location.
+
+    ``indices`` are positions in :attr:`CausalOrder.ops`; ``mask`` is
+    their union as a bitset; ``source_masks`` groups the same positions
+    by the write whose value each op carries (the write itself plus every
+    read of it) — the paper's "serves notice" exclusion, precomputed so
+    the live-set check is pure bit arithmetic.
+    """
+
+    indices: Tuple[int, ...]
+    mask: int
+    source_masks: Dict[Any, int]
 
 
 class CausalityCycleError(CheckError):
@@ -68,6 +85,13 @@ class CausalOrder:
         self._rf_pred: List[Optional[int]] = [None] * len(self.ops)
         self._build_edges()
         self._desc: List[int] = self._transitive_closure()
+        # Non-rf predecessor bitset per op (Definition 1's "excluding the
+        # reads-from ordering established by o itself" reduces to
+        # reachability into these — see precedes_excluding_rf).
+        self._pred_non_rf_mask: List[int] = [
+            _mask_of(preds) for preds in self._pred_non_rf
+        ]
+        self._loc_ops: Optional[Dict[str, LocationOps]] = None
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -165,10 +189,50 @@ class CausalOrder:
             raise CheckError(f"{read} is not a read operation")
         j = self.index_of(read)
         i = self.index_of(a)
-        for pred in self._pred_non_rf[j]:
-            if pred == i or bool(self._desc[i] >> pred & 1):
-                return True
-        return False
+        return bool((self._desc[i] | (1 << i)) & self._pred_non_rf_mask[j])
+
+    # ------------------------------------------------------------------
+    # Bitset accessors (the live-set computation runs on these)
+    # ------------------------------------------------------------------
+    def descendant_mask(self, index: int) -> int:
+        """Bitset of strict ``*->`` descendants of the op at ``index``."""
+        return self._desc[index]
+
+    def non_rf_pred_mask(self, index: int) -> int:
+        """Bitset of direct non-reads-from predecessors of ``index``."""
+        return self._pred_non_rf_mask[index]
+
+    def location_ops(self, location: str) -> LocationOps:
+        """The precomputed :class:`LocationOps` for ``location``.
+
+        Built lazily for *all* locations in one pass over the history on
+        first use, then served from cache.
+        """
+        table = self._loc_ops
+        if table is None:
+            grouped: Dict[str, Tuple[List[int], Dict[Any, int]]] = {}
+            for i, op in enumerate(self.ops):
+                entry = grouped.get(op.location)
+                if entry is None:
+                    entry = ([], {})
+                    grouped[op.location] = entry
+                entry[0].append(i)
+                source = op.write_id if op.is_write else op.read_from
+                entry[1][source] = entry[1].get(source, 0) | (1 << i)
+            table = {
+                location: LocationOps(
+                    indices=tuple(indices),
+                    mask=_mask_of(indices),
+                    source_masks=sources,
+                )
+                for location, (indices, sources) in grouped.items()
+            }
+            self._loc_ops = table
+        entry = table.get(location)
+        if entry is None:
+            entry = LocationOps(indices=(), mask=0, source_masks={})
+            table[location] = entry
+        return entry
 
     def followers(self, op: Operation) -> List[Operation]:
         """All operations ``b`` with ``op *-> b`` (diagnostics)."""
@@ -179,6 +243,13 @@ class CausalOrder:
     def sort_key(self) -> Dict[OpId, int]:
         """A topological position per op (for deterministic reports)."""
         return dict(self._pos)
+
+
+def _mask_of(indices: Iterable[int]) -> int:
+    bits = 0
+    for index in indices:
+        bits |= 1 << index
+    return bits
 
 
 def _bit_indices(bits: int) -> Iterable[int]:

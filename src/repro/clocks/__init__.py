@@ -15,6 +15,19 @@ time attached to a written value is called a *writestamp*.
 """
 
 from repro.clocks.lamport import LamportClock
-from repro.clocks.vector_clock import VectorClock
+from repro.clocks.vector_clock import (
+    CONCURRENT,
+    EQUAL,
+    GREATER,
+    LESS,
+    VectorClock,
+)
 
-__all__ = ["VectorClock", "LamportClock"]
+__all__ = [
+    "VectorClock",
+    "LamportClock",
+    "LESS",
+    "GREATER",
+    "EQUAL",
+    "CONCURRENT",
+]

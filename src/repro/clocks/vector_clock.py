@@ -11,6 +11,20 @@ The paper's operations on vector times (Section 3.1):
 Instances are immutable and hashable, so they can key dictionaries (e.g. a
 history checker mapping writestamps to operations) and be shared freely
 between nodes in the simulator without defensive copying.
+
+Performance notes (these clocks sit on every protocol hot path):
+
+* ``increment``/``update``/``zero`` construct results through an internal
+  trusted constructor that skips per-component re-validation — components
+  derived from an already-validated clock cannot become negative.
+* ``__hash__`` is computed once and cached (clocks key dictionaries in
+  the checkers and request routing).
+* :meth:`compare` classifies a pair in a single pass, returning one of
+  :data:`LESS`, :data:`GREATER`, :data:`EQUAL`, :data:`CONCURRENT`, so
+  protocol code does not need two O(n) comparisons per conflict check.
+* ``update`` returns an existing instance (``self`` or ``other``) when
+  one side already dominates, avoiding an allocation on the common path
+  where a node's clock absorbs an older stamp.
 """
 
 from __future__ import annotations
@@ -19,7 +33,16 @@ from typing import Iterable, Iterator, Tuple
 
 from repro.errors import ClockError
 
-__all__ = ["VectorClock"]
+__all__ = ["VectorClock", "LESS", "GREATER", "EQUAL", "CONCURRENT"]
+
+#: Single-pass comparison outcomes (:meth:`VectorClock.compare`).  The
+#: numeric values are stable API: the ordered outcomes satisfy
+#: ``LESS < EQUAL < GREATER`` and ``CONCURRENT`` is distinct from all three,
+#: so ``compare(other) <= EQUAL`` tests "dominated-or-equal" in one shot.
+LESS = -1
+EQUAL = 0
+GREATER = 1
+CONCURRENT = 2
 
 
 class VectorClock:
@@ -42,7 +65,13 @@ class VectorClock:
     True
     """
 
-    __slots__ = ("_components",)
+    __slots__ = ("_components", "_hash")
+
+    #: Comparison outcomes re-exported on the class for discoverability.
+    LESS = LESS
+    EQUAL = EQUAL
+    GREATER = GREATER
+    CONCURRENT = CONCURRENT
 
     def __init__(self, components: Iterable[int]):
         comps = tuple(int(c) for c in components)
@@ -51,30 +80,56 @@ class VectorClock:
         if any(c < 0 for c in comps):
             raise ClockError(f"negative component in {comps}")
         self._components = comps
+        self._hash = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
+    def _from_trusted(cls, components: Tuple[int, ...]) -> "VectorClock":
+        """Wrap an already-validated component tuple without re-checking.
+
+        Only for tuples derived from existing clocks (``increment``,
+        ``update``, ``zero``): non-negativity and non-emptiness are
+        preserved by those operations, so validation would be wasted work
+        on the protocol hot paths.
+        """
+        clock = object.__new__(cls)
+        clock._components = components
+        clock._hash = None
+        return clock
+
+    @classmethod
     def zero(cls, dimension: int) -> "VectorClock":
         """The all-zeros clock of the given dimension."""
         if dimension <= 0:
             raise ClockError(f"dimension must be positive, got {dimension}")
-        return cls((0,) * dimension)
+        return cls._from_trusted((0,) * dimension)
 
     def increment(self, index: int) -> "VectorClock":
         """A new clock with component ``index`` advanced by one."""
         self._check_index(index)
-        comps = list(self._components)
-        comps[index] += 1
-        return VectorClock(comps)
+        comps = self._components
+        return VectorClock._from_trusted(
+            comps[:index] + (comps[index] + 1,) + comps[index + 1:]
+        )
 
     def update(self, other: "VectorClock") -> "VectorClock":
-        """Component-wise maximum (the paper's ``update(VT, VT')``)."""
+        """Component-wise maximum (the paper's ``update(VT, VT')``).
+
+        Returns ``self`` or ``other`` unchanged when one side already
+        dominates — instances are immutable, so sharing is safe.
+        """
         self._check_dimension(other)
-        return VectorClock(
-            max(a, b) for a, b in zip(self._components, other._components)
-        )
+        a, b = self._components, other._components
+        if a == b:
+            return self
+        merged = tuple(map(max, a, b))
+        if merged == a:
+            return self
+        if merged == b:
+            return other
+        return VectorClock._from_trusted(merged)
 
     # ------------------------------------------------------------------
     # Access
@@ -105,28 +160,57 @@ class VectorClock:
     # ------------------------------------------------------------------
     # Ordering
     # ------------------------------------------------------------------
+    def compare(self, other: "VectorClock") -> int:
+        """Classify this pair in one pass over the components.
+
+        Returns :data:`LESS` (``self < other``), :data:`GREATER`
+        (``self > other``), :data:`EQUAL`, or :data:`CONCURRENT` — exactly
+        one holds for any pair.  Protocol code should prefer this over
+        chaining ``<``/``concurrent_with``, which each rescan the vectors.
+
+        >>> VectorClock((1, 0)).compare(VectorClock((0, 1))) == CONCURRENT
+        True
+        >>> VectorClock((1, 0)).compare(VectorClock((1, 2))) == LESS
+        True
+        """
+        self._check_dimension(other)
+        a, b = self._components, other._components
+        if a == b:
+            return EQUAL
+        less = greater = False
+        for x, y in zip(a, b):
+            if x < y:
+                if greater:
+                    return CONCURRENT
+                less = True
+            elif x > y:
+                if less:
+                    return CONCURRENT
+                greater = True
+        return LESS if less else GREATER
+
     def __le__(self, other: "VectorClock") -> bool:
         self._check_dimension(other)
         return all(a <= b for a, b in zip(self._components, other._components))
 
     def __lt__(self, other: "VectorClock") -> bool:
         """Strict vector order: <= in every component, < in at least one."""
-        return self <= other and self._components != other._components
+        return self.compare(other) == LESS
 
     def __ge__(self, other: "VectorClock") -> bool:
         self._check_dimension(other)
         return all(a >= b for a, b in zip(self._components, other._components))
 
     def __gt__(self, other: "VectorClock") -> bool:
-        return self >= other and self._components != other._components
+        return self.compare(other) == GREATER
 
     def concurrent_with(self, other: "VectorClock") -> bool:
         """Neither clock dominates the other (the stamps are concurrent)."""
-        return not self <= other and not other <= self
+        return self.compare(other) == CONCURRENT
 
     def comparable_with(self, other: "VectorClock") -> bool:
         """True iff the clocks are ordered one way or the other."""
-        return self <= other or other <= self
+        return self.compare(other) != CONCURRENT
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr
@@ -137,7 +221,11 @@ class VectorClock:
         return self._components == other._components
 
     def __hash__(self) -> int:
-        return hash(self._components)
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._components)
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:
         return f"VectorClock({self._components!r})"
@@ -149,12 +237,16 @@ class VectorClock:
     # Internals
     # ------------------------------------------------------------------
     def _check_dimension(self, other: "VectorClock") -> None:
-        if not isinstance(other, VectorClock):
-            raise ClockError(f"cannot combine VectorClock with {type(other).__name__}")
-        if other.dimension != self.dimension:
+        try:
+            if len(other._components) == len(self._components):
+                return
+        except AttributeError:
             raise ClockError(
-                f"dimension mismatch: {self.dimension} vs {other.dimension}"
-            )
+                f"cannot combine VectorClock with {type(other).__name__}"
+            ) from None
+        raise ClockError(
+            f"dimension mismatch: {self.dimension} vs {other.dimension}"
+        )
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < len(self._components):

@@ -15,6 +15,22 @@ was written by itself.
 
 The store also enforces the paper's invariant that "the locations owned by
 a processor can never be invalidated by that processor".
+
+Performance notes (the invalidation sweep runs on every value install):
+
+* ``C_i`` and a per-unit membership index are maintained incrementally,
+  so :meth:`cached_locations` is a set copy (no ownership re-derivation)
+  and the sweep never rescans the whole store to find a doomed unit's
+  members.  Ownership and read-only verdicts per location are immutable,
+  so they are memoised.
+* A *sweep watermark* records the last swept stamp for which the store is
+  known to hold no cached, invalidatable entry strictly older than it.
+  A sweep whose stamp does not advance past the watermark is provably a
+  no-op (everything it could invalidate is already gone) and is skipped
+  in O(n) — the owner protocol issues exactly such redundant sweeps when
+  serviced writes do not advance its clock.  Any install into the cache
+  clears the guarantee, so the skip never changes observable contents
+  (see ``tests/test_prop_local_store.py`` for the equivalence property).
 """
 
 from __future__ import annotations
@@ -22,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set
 
-from repro.clocks import VectorClock
+from repro.clocks import LESS, EQUAL, VectorClock
 from repro.errors import MemoryError_
 from repro.memory.namespace import Namespace
 
@@ -43,7 +59,7 @@ class MemoryEntry:
 
     def older_than(self, stamp: VectorClock) -> bool:
         """Strictly older under the vector order (the invalidation test)."""
-        return self.stamp < stamp
+        return self.stamp.compare(stamp) == LESS
 
 
 class LocalStore:
@@ -74,16 +90,38 @@ class LocalStore:
         self.n_nodes = n_nodes
         self.initial_value = initial_value
         self._entries: Dict[str, MemoryEntry] = {}
+        # ``C_i`` maintained incrementally (dict-as-ordered-set: iteration
+        # follows insertion order, keeping sweeps deterministic across
+        # processes where plain set order would be hash-randomized).
+        self._cached: Dict[str, None] = {}
+        # unit -> present locations of that unit (cached *and* owned).
+        self._unit_index: Dict[str, Dict[str, None]] = {}
+        # Cached and not read-only: the only entries a sweep can touch.
+        self._sweep_candidates: Dict[str, None] = {}
+        # Ownership / read-only verdicts are pure functions of the
+        # location; memoise them per store.
+        self._owns_memo: Dict[str, bool] = {}
+        self._read_only_memo: Dict[str, bool] = {}
+        # Sweep watermark: when ``_watermark_clean`` no cached,
+        # invalidatable entry is strictly older than ``_watermark``.
+        self._watermark: Optional[VectorClock] = None
+        self._watermark_clean = False
         # Counters consumed by benchmarks / experiment reports.
         self.invalidation_count = 0
         self.discard_count = 0
+        self.sweeps_performed = 0
+        self.sweeps_skipped = 0
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def owns(self, location: str) -> bool:
         """True iff this node owns ``location``'s unit."""
-        return self.namespace.owns(self.node_id, location)
+        owned = self._owns_memo.get(location)
+        if owned is None:
+            owned = self.namespace.owns(self.node_id, location)
+            self._owns_memo[location] = owned
+        return owned
 
     def get(self, location: str) -> Optional[MemoryEntry]:
         """The entry for ``location``, or None if invalid (``bottom``).
@@ -96,7 +134,7 @@ class LocalStore:
         entry = self._entries.get(location)
         if entry is None and self.owns(location):
             entry = self.initial_entry()
-            self._entries[location] = entry
+            self._install(location, entry)
         return entry
 
     def initial_entry(self) -> MemoryEntry:
@@ -109,28 +147,30 @@ class LocalStore:
 
     def is_valid(self, location: str) -> bool:
         """True iff reading ``location`` needs no remote message."""
-        return self.owns(location) or location in self._entries
+        return location in self._entries or self.owns(location)
 
     def cached_locations(self) -> Set[str]:
-        """``C_i``: locations cached here (present but not owned)."""
-        return {loc for loc in self._entries if not self.owns(loc)}
+        """``C_i``: locations cached here (present but not owned).
+
+        Maintained incrementally; this returns a snapshot copy.
+        """
+        return set(self._cached)
 
     def owned_locations(self) -> Set[str]:
         """Owned locations that have an explicit entry."""
-        return {loc for loc in self._entries if self.owns(loc)}
+        return {loc for loc in self._entries if loc not in self._cached}
 
     def locations_in_unit(self, unit: str) -> List[str]:
         """Present locations belonging to the given sharing unit."""
-        return [
-            loc for loc in self._entries if self.namespace.unit(loc) == unit
-        ]
+        members = self._unit_index.get(unit)
+        return list(members) if members else []
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def put(self, location: str, entry: MemoryEntry) -> None:
         """Install a value (a local write, a reply, or a serviced WRITE)."""
-        self._entries[location] = entry
+        self._install(location, entry)
 
     def invalidate(self, location: str) -> None:
         """Set ``M_i[location] := bottom``.  Owned locations never can be."""
@@ -140,8 +180,7 @@ class LocalStore:
                 f"{location!r}"
             )
         if location in self._entries:
-            del self._entries[location]
-            self.invalidation_count += 1
+            self._remove_cached(location, invalidation=True)
 
     def invalidate_older_than(
         self,
@@ -158,24 +197,42 @@ class LocalStore:
 
         Returns the list of invalidated locations (for tracing).
         """
-        keep_set = set(keep or ())
-        doomed_units: Set[str] = set()
-        for location in self.cached_locations():
-            if location in keep_set or self.namespace.is_read_only(location):
-                continue
-            entry = self._entries[location]
-            if entry.older_than(stamp):
-                doomed_units.add(self.namespace.unit(location))
+        if (
+            self._watermark_clean
+            and self._watermark is not None
+            and stamp.compare(self._watermark) <= EQUAL  # LESS or EQUAL
+        ):
+            # Nothing invalidatable is older than the watermark, so
+            # nothing can be older than this non-advancing stamp.
+            self.sweeps_skipped += 1
+            return []
+        self.sweeps_performed += 1
+        candidates = self._sweep_candidates
+        if not candidates:
+            # Nothing invalidatable at all; the store is trivially clean.
+            self._watermark = stamp
+            self._watermark_clean = True
+            return []
+        keep_set = frozenset(keep) if keep else frozenset()
+        entries = self._entries
+        doomed_units: Dict[str, None] = {}
+        kept_old = False
+        unit_of = self.namespace.unit
+        for location in candidates:
+            if entries[location].older_than(stamp):
+                if location in keep_set:
+                    kept_old = True  # survivor below the sweep stamp
+                else:
+                    doomed_units[unit_of(location)] = None
         invalidated: List[str] = []
-        if not doomed_units:
-            return invalidated
-        for location in list(self.cached_locations()):
-            if location in keep_set or self.namespace.is_read_only(location):
-                continue
-            if self.namespace.unit(location) in doomed_units:
-                del self._entries[location]
-                self.invalidation_count += 1
+        for unit in doomed_units:
+            for location in list(self._unit_index[unit]):
+                if location not in candidates or location in keep_set:
+                    continue  # owned/read-only unit-mates are never swept
+                self._remove_cached(location, invalidation=True)
                 invalidated.append(location)
+        self._watermark = stamp
+        self._watermark_clean = not kept_old
         return invalidated
 
     def discard(self, location: str) -> bool:
@@ -187,18 +244,59 @@ class LocalStore:
                 f"node {self.node_id} cannot discard owned location {location!r}"
             )
         if location in self._entries:
-            del self._entries[location]
-            self.discard_count += 1
+            self._remove_cached(location, invalidation=False)
             return True
         return False
 
     def discard_all(self) -> int:
         """Drop the entire cache; returns the number of dropped copies."""
-        cached = list(self.cached_locations())
+        cached = list(self._cached)
         for location in cached:
-            del self._entries[location]
-        self.discard_count += len(cached)
+            self._remove_cached(location, invalidation=False)
         return len(cached)
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping (the single install/removal paths)
+    # ------------------------------------------------------------------
+    def _install(self, location: str, entry: MemoryEntry) -> None:
+        if location not in self._entries:
+            unit = self.namespace.unit(location)
+            members = self._unit_index.get(unit)
+            if members is None:
+                self._unit_index[unit] = {location: None}
+            else:
+                members[location] = None
+            if not self.owns(location):
+                self._cached[location] = None
+                if not self._is_read_only(location):
+                    self._sweep_candidates[location] = None
+        if location in self._cached:
+            # A cache install may be older than the watermark; the next
+            # sweep must look again.
+            self._watermark_clean = False
+        self._entries[location] = entry
+
+    def _remove_cached(self, location: str, *, invalidation: bool) -> None:
+        del self._entries[location]
+        self._cached.pop(location, None)
+        self._sweep_candidates.pop(location, None)
+        unit = self.namespace.unit(location)
+        members = self._unit_index.get(unit)
+        if members is not None:
+            members.pop(location, None)
+            if not members:
+                del self._unit_index[unit]
+        if invalidation:
+            self.invalidation_count += 1
+        else:
+            self.discard_count += 1
+
+    def _is_read_only(self, location: str) -> bool:
+        verdict = self._read_only_memo.get(location)
+        if verdict is None:
+            verdict = self.namespace.is_read_only(location)
+            self._read_only_memo[location] = verdict
+        return verdict
 
     def __contains__(self, location: str) -> bool:
         return self.is_valid(location)
@@ -206,5 +304,5 @@ class LocalStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<LocalStore node={self.node_id} entries={len(self._entries)} "
-            f"cached={len(self.cached_locations())}>"
+            f"cached={len(self._cached)}>"
         )

@@ -124,12 +124,15 @@ class CausalBroadcastNode(DSMNode):
                     progressed = True
 
     def _deliverable(self, msg: BroadcastWrite) -> bool:
-        if msg.stamp[msg.sender] != self.delivered[msg.sender] + 1:
+        stamp = msg.stamp.components
+        delivered = self.delivered.components
+        sender = msg.sender
+        if stamp[sender] != delivered[sender] + 1:
             return False
         return all(
-            msg.stamp[k] <= self.delivered[k]
-            for k in range(self.n_nodes)
-            if k != msg.sender
+            s <= d
+            for k, (s, d) in enumerate(zip(stamp, delivered))
+            if k != sender
         )
 
     def _apply(self, msg: BroadcastWrite) -> None:

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from repro.clocks import VectorClock
+from repro.clocks import CONCURRENT, VectorClock
 from repro.errors import ProtocolError
 from repro.memory.local_store import MemoryEntry
 from repro.protocols.base import DSMNode, WriteOutcome
@@ -169,13 +169,14 @@ class CausalOwnerNode(DSMNode):
     # ------------------------------------------------------------------
     def handle_message(self, src: int, message: object) -> None:
         """Dispatch one delivered message (runs atomically)."""
-        if isinstance(message, ReadRequest):
-            self._serve_read(src, message)
-        elif isinstance(message, WriteRequest):
-            self._serve_write(src, message)
-        elif isinstance(message, ReadReply):
+        kind = type(message)
+        if kind is ReadReply:
             self._complete_read(message)
-        elif isinstance(message, WriteReply):
+        elif kind is ReadRequest:
+            self._serve_read(src, message)
+        elif kind is WriteRequest:
+            self._serve_write(src, message)
+        elif kind is WriteReply:
             self._complete_write(message)
         else:
             raise ProtocolError(
@@ -276,7 +277,7 @@ class CausalOwnerNode(DSMNode):
         self.vt = self.vt.update(msg.stamp)
         current = self.store.get(msg.location)
         assert current is not None
-        if current.stamp.concurrent_with(msg.stamp):
+        if current.stamp.compare(msg.stamp) == CONCURRENT:
             apply = self.policy.apply_concurrent(
                 owner_id=self.node_id,
                 location=msg.location,

@@ -9,37 +9,81 @@ measurement instrument must not itself be a source of noise).
 
 Ties in time are broken by a monotonically increasing sequence number, so
 insertion order decides between simultaneous events.
+
+Performance notes:
+
+* Cancelled events stay in the heap (O(1) cancellation) but the kernel
+  keeps a live count, so :attr:`Simulator.pending_events` is O(1) instead
+  of a full queue scan — deadlock detection polls it after every task
+  step.
+* When cancelled corpses outnumber live events the heap is compacted in
+  one O(n) pass; compaction only drops cancelled entries, so the
+  ``(time, seq)`` pop order — and hence determinism — is unchanged.
+* The skip-cancelled logic lives in one place (:meth:`Simulator._peek`
+  drains cancelled heads, ``step``/``run`` pop the live head directly),
+  so no event is popped twice and cancelled skips never count as
+  processed events.
+* The heap holds plain ``(time, seq, event)`` tuples: ``seq`` is unique,
+  so ``heapq`` resolves every comparison on the first two elements at C
+  speed and never calls a Python-level ``__lt__``.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
 
 __all__ = ["Simulator", "ScheduledEvent"]
 
+#: Compact the heap when it holds more than this many cancelled events
+#: and they outnumber the live ones (small queues are not worth the pass).
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
 class ScheduledEvent:
     """A callback scheduled at a point in simulated time.
 
-    Events compare by ``(time, seq)`` so the heap pops them in deterministic
-    order.  ``cancelled`` supports O(1) cancellation: the event stays in the
-    heap but is skipped when popped.
+    The heap orders events by ``(time, seq)``; insertion order decides
+    between simultaneous events.  ``cancelled`` supports O(1)
+    cancellation: the event stays in the heap but is skipped when popped
+    (or dropped by a compaction).
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim", "_in_heap")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        _sim: Optional["Simulator"] = None,
+        _in_heap: bool = False,
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self._sim = _sim
+        self._in_heap = _in_heap
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledEvent(time={self.time!r}, seq={self.seq!r}, "
+            f"callback={self.callback!r}, cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_heap and self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -67,9 +111,12 @@ class Simulator:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._seed = seed
-        self._queue: list[ScheduledEvent] = []
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled_in_queue = 0
+        self._cancelled_skips = 0
+        self._compactions = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -79,7 +126,11 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback)
+        time = self.now + delay
+        self._seq = seq = self._seq + 1
+        event = ScheduledEvent(time, seq, callback, False, self, True)
+        heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` at absolute simulated time ``time``."""
@@ -87,8 +138,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        event = ScheduledEvent(time=time, seq=self._next_seq(), callback=callback)
-        heapq.heappush(self._queue, event)
+        self._seq = seq = self._seq + 1
+        event = ScheduledEvent(time, seq, callback, False, self, True)
+        heappush(self._queue, (time, seq, event))
         return event
 
     def call_soon(self, callback: Callable[[], None]) -> ScheduledEvent:
@@ -109,13 +161,27 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return len(self._queue) - self._cancelled_in_queue
 
     @property
     def events_processed(self) -> int:
-        """Total number of callbacks executed so far."""
+        """Total number of callbacks executed so far.
+
+        Cancelled events are skipped, never executed, and do not count
+        here — see :attr:`cancelled_skips`.
+        """
         return self._events_processed
+
+    @property
+    def cancelled_skips(self) -> int:
+        """Cancelled events discarded from the heap without executing."""
+        return self._cancelled_skips
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the heap was rebuilt to evict cancelled corpses."""
+        return self._compactions
 
     def derived_rng(self, label: str) -> random.Random:
         """A new RNG deterministically derived from the seed and ``label``.
@@ -130,17 +196,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self.now:
-                raise SimulationError("event queue produced a time in the past")
-            self.now = event.time
-            self._events_processed += 1
-            event.callback()
-            return True
-        return False
+        event = self._peek()
+        if event is None:
+            return False
+        self._execute_head(event)
+        return True
 
     def run(
         self,
@@ -162,31 +222,108 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
         try:
-            while self._queue:
+            if until is None and max_events is None:
+                # Fast path for the by-far common bare ``run()``: no
+                # budget or horizon checks inside the event loop.
+                while queue:
+                    time, _, event = heappop(queue)
+                    event._in_heap = False
+                    if event.cancelled:
+                        self._cancelled_in_queue -= 1
+                        self._cancelled_skips += 1
+                        continue
+                    if time < self.now:
+                        raise SimulationError(
+                            "event queue produced a time in the past"
+                        )
+                    self.now = time
+                    self._events_processed += 1
+                    event.callback()
+                return
+            while queue:
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"event budget of {max_events} exhausted at t={self.now}"
                     )
-                head = self._peek()
-                if head is None:
-                    break
-                if until is not None and head.time > until:
+                time, _, event = queue[0]
+                if event.cancelled:
+                    heappop(queue)
+                    event._in_heap = False
+                    self._cancelled_in_queue -= 1
+                    self._cancelled_skips += 1
+                    continue
+                if until is not None and time > until:
                     self.now = until
                     return
-                self.step()
+                heappop(queue)
+                event._in_heap = False
+                if time < self.now:
+                    raise SimulationError("event queue produced a time in the past")
+                self.now = time
+                self._events_processed += 1
+                event.callback()
                 executed += 1
             if until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False
 
+    # ------------------------------------------------------------------
+    # Queue internals (the one place cancelled events are skipped)
+    # ------------------------------------------------------------------
     def _peek(self) -> Optional[ScheduledEvent]:
-        """Return the next live event without popping it, or None."""
-        while self._queue:
-            head = self._queue[0]
+        """Return the next live event without popping it, or None.
+
+        Cancelled heads are discarded on the way (counted as skips, never
+        as processed events).
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0][2]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                heappop(queue)
+                head._in_heap = False
+                self._cancelled_in_queue -= 1
+                self._cancelled_skips += 1
                 continue
             return head
         return None
+
+    def _execute_head(self, head: ScheduledEvent) -> None:
+        """Pop ``head`` (known live, at the top of the heap) and run it."""
+        heappop(self._queue)
+        head._in_heap = False
+        if head.time < self.now:
+            raise SimulationError("event queue produced a time in the past")
+        self.now = head.time
+        self._events_processed += 1
+        head.callback()
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue > _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify (order-preserving).
+
+        The list is mutated in place so aliases held by a running
+        ``run()`` loop stay valid.
+        """
+        live = []
+        for entry in self._queue:
+            event = entry[2]
+            if event.cancelled:
+                event._in_heap = False
+                self._cancelled_skips += 1
+            else:
+                live.append(entry)
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self._compactions += 1

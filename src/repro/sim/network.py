@@ -166,16 +166,19 @@ class Network:
         deliver_at = max(deliver_at, floor)
         self._last_delivery[(src, dst)] = deliver_at
 
-        record = MessageRecord(
-            seq=seq, src=src, dst=dst, kind=kind, payload=message,
-            sent_at=now, delivered_at=deliver_at, dropped=False,
+        self.stats.count_sent(kind, src, dst, deliver_at - now)
+        if self.trace.enabled:
+            # The full MessageRecord is only materialised when someone is
+            # listening — construction dominates `send` otherwise.
+            self.trace.record(MessageRecord(
+                seq=seq, src=src, dst=dst, kind=kind, payload=message,
+                sent_at=now, delivered_at=deliver_at, dropped=False,
+            ))
+        self.sim.schedule_at(
+            deliver_at, lambda: self._deliver(src, dst, message)
         )
-        self.stats.record(record)
-        self.trace.record(record)
-        self.sim.schedule_at(deliver_at, lambda: self._deliver(record))
 
-    def _deliver(self, record: MessageRecord) -> None:
-        if record.dst in self._crashed:
+    def _deliver(self, src: int, dst: int, payload: object) -> None:
+        if dst in self._crashed:
             return  # crashed after send; message lost on arrival
-        handler = self._handlers[record.dst]
-        handler(record.src, record.payload)
+        self._handlers[dst](src, payload)

@@ -84,12 +84,20 @@ class NetworkStats:
         if record.dropped:
             self.dropped += 1
             return
+        self.count_sent(record.kind, record.src, record.dst, record.latency)
+
+    def count_sent(self, kind: str, src: int, dst: int, latency: float) -> None:
+        """Account for one delivered message without a MessageRecord.
+
+        The network's hot path calls this directly so it does not have to
+        materialise a record when tracing is disabled.
+        """
         self.total += 1
-        self.by_kind[record.kind] += 1
-        self.by_sender[record.src] += 1
-        self.by_receiver[record.dst] += 1
-        self.by_pair[(record.src, record.dst)] += 1
-        self.total_latency += record.latency
+        self.by_kind[kind] += 1
+        self.by_sender[src] += 1
+        self.by_receiver[dst] += 1
+        self.by_pair[(src, dst)] += 1
+        self.total_latency += latency
 
     @property
     def mean_latency(self) -> float:

@@ -1,0 +1,103 @@
+"""The ``python -m repro.bench`` runner and its JSON trajectory.
+
+Runs the real suite in ``--smoke`` mode (seconds, not minutes) so the
+benchmark entry point cannot bit-rot, and unit-tests the persistence
+layer's schema handling.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.benchjson import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchTrajectory,
+)
+from repro.bench import main, run_suite
+from repro.errors import ReproError
+
+
+def test_smoke_suite_produces_all_metric_groups():
+    metrics = run_suite(node_counts=(2,), smoke=True)
+    assert metrics["kernel"]["events_per_sec"] > 0
+    protocol = metrics["protocol"]["n=2"]
+    assert protocol["ops_per_sec"] > 0
+    assert protocol["messages"] > 0
+    assert protocol["sweeps_performed"] >= 0
+    assert protocol["sweeps_skipped"] >= 0
+    checker = metrics["checker"]["n=2"]
+    assert checker["ops_per_sec"] > 0
+    assert checker["ops"] > 0
+
+
+def test_cli_smoke_appends_runs_to_trajectory(tmp_path, capsys):
+    output = tmp_path / "BENCH_substrate.json"
+    argv = ["--smoke", "--nodes", "2", "--output", str(output)]
+    assert main(argv + ["--label", "first"]) == 0
+    assert main(argv + ["--label", "second"]) == 0
+    capsys.readouterr()
+
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == SCHEMA_VERSION
+    assert [run["label"] for run in payload["runs"]] == ["first", "second"]
+    assert all(run["smoke"] for run in payload["runs"])
+
+    trajectory = BenchTrajectory.load(output)
+    assert trajectory.latest().label == "second"
+    series = trajectory.metric_series("kernel", "events_per_sec")
+    assert len(series) == 2 and all(v > 0 for v in series)
+
+
+def test_cli_no_save_leaves_no_file(tmp_path, capsys):
+    output = tmp_path / "BENCH_substrate.json"
+    argv = ["--smoke", "--nodes", "2", "--output", str(output), "--no-save"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert not output.exists()
+
+
+def test_cli_rejects_corrupt_trajectory_before_benchmarking(tmp_path, capsys):
+    output = tmp_path / "bad.json"
+    output.write_text("{broken")
+    assert main(["--smoke", "--nodes", "2", "--output", str(output)]) == 1
+    err = capsys.readouterr().err
+    assert "malformed bench JSON" in err
+    # Fails fast: no benchmark progress lines were emitted before the error.
+    assert "kernel" not in err
+
+
+def test_cli_rejects_non_positive_node_counts(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--smoke", "--nodes", "0", "--no-save"])
+    assert excinfo.value.code == 2
+    assert "positive node count" in capsys.readouterr().err
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    trajectory = BenchTrajectory.load(tmp_path / "absent.json")
+    assert trajectory.runs == []
+    assert trajectory.latest() is None
+
+
+def test_load_rejects_malformed_and_wrong_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ReproError):
+        BenchTrajectory.load(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"schema": 99, "runs": []}))
+    with pytest.raises(ReproError):
+        BenchTrajectory.load(wrong)
+
+
+def test_speedup_is_latest_over_first():
+    trajectory = BenchTrajectory()
+    trajectory.append(
+        BenchRecord("a", "t0", {"kernel": {"events_per_sec": 100.0}})
+    )
+    trajectory.append(
+        BenchRecord("b", "t1", {"kernel": {"events_per_sec": 250.0}})
+    )
+    assert trajectory.speedup("kernel", "events_per_sec") == pytest.approx(2.5)
+    assert trajectory.speedup("kernel", "missing") is None

@@ -88,6 +88,63 @@ class TestCancellation:
         assert sim.pending_events == 1
         assert keep.cancelled is False
 
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_execution_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 2
+
+    def test_step_skips_cancelled_head_and_executes_next(self):
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(1.0, lambda: fired.append("doomed"))
+        sim.schedule(2.0, lambda: fired.append("live"))
+        doomed.cancel()
+        # One step must execute exactly one live event, not stop at the
+        # cancelled head.
+        assert sim.step() is True
+        assert fired == ["live"]
+        assert sim.events_processed == 1
+        assert sim.cancelled_skips == 1
+
+    def test_cancelled_run_skips_are_counted(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(float(i + 1), lambda: fired.append(1)) for i in range(10)]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run()
+        assert len(fired) == 5
+        assert sim.cancelled_skips == 5
+        assert sim.pending_events == 0
+
+    def test_mass_cancellation_triggers_compaction(self):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(300)
+        ]
+        for handle in handles[:200]:
+            handle.cancel()
+        assert sim.pending_events == 100
+        assert sim.heap_compactions >= 1
+        sim.run()
+        # Survivors still fire in time order despite the re-heapify.
+        assert fired == list(range(200, 300))
+        assert sim.pending_events == 0
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):

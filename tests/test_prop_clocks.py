@@ -1,8 +1,11 @@
 """Property-based tests for vector clocks (hypothesis)."""
 
+import random
+
+import pytest
 from hypothesis import given, strategies as st
 
-from repro.clocks import VectorClock
+from repro.clocks import CONCURRENT, EQUAL, GREATER, LESS, VectorClock
 
 DIM = 4
 
@@ -88,3 +91,59 @@ def test_merge_then_increment_dominates_both(a, b, index):
     merged = a.update(b).increment(index)
     assert a < merged or a <= merged
     assert b <= merged
+
+
+# ----------------------------------------------------------------------
+# compare(): the single-pass classifier must agree with the operators
+# ----------------------------------------------------------------------
+@given(clocks, clocks)
+def test_compare_agrees_with_operators(a, b):
+    verdict = a.compare(b)
+    if a == b:
+        assert verdict == EQUAL
+    elif a < b:
+        assert verdict == LESS
+    elif b < a:
+        assert verdict == GREATER
+    else:
+        assert a.concurrent_with(b)
+        assert verdict == CONCURRENT
+
+
+@given(clocks, clocks)
+def test_compare_is_antisymmetric(a, b):
+    flipped = {LESS: GREATER, GREATER: LESS, EQUAL: EQUAL, CONCURRENT: CONCURRENT}
+    assert b.compare(a) == flipped[a.compare(b)]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_compare_agrees_with_operators_seeded(seed):
+    """The ISSUE acceptance sweep: 200 random pairs per seed, >=20 seeds."""
+    rng = random.Random(seed)
+    for _ in range(200):
+        a = VectorClock([rng.randrange(0, 4) for _ in range(DIM)])
+        b = VectorClock([rng.randrange(0, 4) for _ in range(DIM)])
+        expected = (
+            EQUAL if a == b
+            else LESS if a < b
+            else GREATER if a > b
+            else CONCURRENT
+        )
+        assert a.compare(b) == expected
+        assert a.concurrent_with(b) == (expected == CONCURRENT)
+
+
+# ----------------------------------------------------------------------
+# Hash stability across the fast-path constructors
+# ----------------------------------------------------------------------
+@given(clocks, clocks, st.integers(min_value=0, max_value=DIM - 1))
+def test_hash_stable_across_update_increment_round_trips(a, b, index):
+    """Derived clocks hash identically to freshly validated equals."""
+    derived = a.update(b).increment(index)
+    rebuilt = VectorClock(list(derived.components))
+    assert derived == rebuilt
+    assert hash(derived) == hash(rebuilt)
+    # Hash is cached: repeated hashing never drifts.
+    assert hash(derived) == hash(derived)
+    again = VectorClock(list(a.components)).update(b).increment(index)
+    assert hash(again) == hash(derived)
