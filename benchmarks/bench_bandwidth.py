@@ -1,0 +1,56 @@
+"""E18 — the wire-level fast path: bytes, stamp entries, and batching.
+
+Section 4.1 argues efficiency in message *counts*; this experiment
+measures message *bytes* under the deterministic wire model and asserts
+the fast path's claims:
+
+* write-behind batching plus delta-encoded writestamps cut bytes/op by
+  at least 30% (or stamp entries/op by the same margin) at ``n >= 8`` on
+  a mixed read/write workload with write bursts;
+* batching strictly reduces message count (coalescing + piggybacked
+  acks);
+* the batched solver still meets the paper's ``2n + 6`` steady-state
+  bound, with identical convergence.
+"""
+
+from repro.analysis import causal_messages_per_processor
+from repro.apps import LinearSystem, SynchronousSolver
+from repro.bench import bench_bandwidth
+
+from conftest import run_once
+
+N = 8
+OPS = 120
+
+
+def run_ab():
+    return bench_bandwidth(n_nodes=N, ops_per_proc=OPS, repeats=1)
+
+
+def test_fast_path_cuts_bytes_per_op(benchmark):
+    report = run_once(benchmark, run_ab)
+    assert (
+        report["bytes_per_op_reduction"] >= 0.30
+        or report["stamp_entries_per_op_reduction"] >= 0.30
+    ), report
+    assert report["fastpath"]["messages"] < report["baseline"]["messages"]
+    assert report["fastpath"]["batch_occupancy"] > 1.0
+
+
+def run_solvers():
+    system = LinearSystem.random(N, seed=5)
+    plain = SynchronousSolver(
+        system, protocol="causal", iterations=8, seed=1
+    ).run()
+    fast = SynchronousSolver(
+        system, protocol="causal", iterations=8, seed=1,
+        batching=True, delta_stamps=True,
+    ).run()
+    return plain, fast
+
+
+def test_batched_solver_meets_message_bound(benchmark):
+    plain, fast = run_once(benchmark, run_solvers)
+    bound = causal_messages_per_processor(N)
+    assert fast.steady_messages_per_processor <= bound
+    assert fast.max_error == plain.max_error

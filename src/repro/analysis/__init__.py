@@ -18,6 +18,8 @@ from repro.analysis.message_model import (
     causal_messages_per_processor,
     central_messages_estimate,
     crossover_analysis,
+    delta_stamp_reduction,
+    stamp_bytes_per_message,
 )
 from repro.analysis.results import ResultDelta, ResultsStore
 from repro.analysis.tables import Table
@@ -31,5 +33,7 @@ __all__ = [
     "atomic_messages_lower_bound",
     "central_messages_estimate",
     "crossover_analysis",
+    "delta_stamp_reduction",
+    "stamp_bytes_per_message",
     "Table",
 ]

@@ -8,10 +8,11 @@ experiments can reach.  ``python -m repro.bench`` measures them and
 and regressions are visible as a series, not a single overwritable
 number.
 
-Schema (``schema`` is bumped on incompatible change)::
+Schema (``schema`` is bumped on incompatible change; the reader accepts
+every version up to the current one)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -23,28 +24,52 @@ Schema (``schema`` is bumped on incompatible change)::
                                   "sweeps_performed": ...,
                                   "sweeps_skipped": ...,
                                   "invalidations": ...}, ...},
-            "checker": {"n=4": {"ops_per_sec": ..., "ops": ...}, ...}
+            "checker": {"n=4": {"ops_per_sec": ..., "ops": ...}, ...},
+            "bandwidth": {"n=8": {"baseline": {...}, "fastpath": {...},
+                                   "bytes_per_op_reduction": ...,
+                                   "stamp_entries_per_op_reduction": ...},
+                          ...}
           }
         }, ...
       ]
     }
 
+Schema history:
+
+* **1** — kernel / protocol / checker sections only.
+* **2** — adds the optional ``bandwidth`` section (wire-level A/B:
+  bytes per op, writestamp entries per op, batch occupancy).  v1 files
+  load unchanged — the section is simply absent from their runs.
+
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
+
+The loader is deliberately defensive about the file itself: a bench run
+killed mid-write used to leave a truncated file that poisoned every
+later run, and two concurrent appenders could leave two concatenated
+JSON documents.  :meth:`BenchTrajectory.load` refuses such files by
+default (`ReproError`), and ``load(path, repair=True)`` salvages every
+complete run object instead; :meth:`BenchTrajectory.save` writes through
+a temp file + :func:`os.replace` so a crash can no longer truncate.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions the reader understands.  v1 files simply lack the optional
+#: ``bandwidth`` metric section, so they load as-is.
+SUPPORTED_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -89,34 +114,61 @@ class BenchTrajectory:
     # Persistence
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, path) -> "BenchTrajectory":
-        """Read a trajectory; a missing file yields an empty trajectory."""
+    def load(cls, path, repair: bool = False) -> "BenchTrajectory":
+        """Read a trajectory; a missing file yields an empty trajectory.
+
+        With ``repair=False`` (the default) any damage — truncation,
+        trailing garbage, concatenated documents, unknown schema — is a
+        :class:`ReproError`, so callers never silently build on a partial
+        series.  With ``repair=True`` the loader salvages instead: every
+        structurally complete document is merged (concurrent-append case)
+        and, failing that, every complete run object inside the damaged
+        text is recovered (truncation case).
+        """
         file = Path(path)
         if not file.exists():
             return cls()
-        try:
-            payload = json.loads(file.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as error:
-            raise ReproError(f"malformed bench JSON {file}: {error}") from error
-        if not isinstance(payload, dict) or "runs" not in payload:
-            raise ReproError(f"{file} is not a bench trajectory (no 'runs')")
-        if payload.get("schema") != SCHEMA_VERSION:
-            raise ReproError(
-                f"{file} has schema {payload.get('schema')!r}, "
-                f"expected {SCHEMA_VERSION}"
-            )
-        return cls(runs=[BenchRecord.from_dict(run) for run in payload["runs"]])
+        text = file.read_text(encoding="utf-8")
+        documents, damaged, damage_offset = _scan_documents(text)
+        if not repair:
+            if damaged or not documents:
+                raise ReproError(
+                    f"malformed bench JSON {file}: "
+                    f"{damaged or 'no JSON document found'} "
+                    f"(use load(..., repair=True) to salvage complete runs)"
+                )
+            if len(documents) > 1:
+                raise ReproError(
+                    f"{file} holds {len(documents)} concatenated JSON "
+                    f"documents — a concurrent append corrupted it "
+                    f"(use load(..., repair=True) to merge them)"
+                )
+            return cls(runs=_runs_of(documents[0], file, strict=True))
+        runs: List[BenchRecord] = []
+        for document in documents:
+            runs.extend(_runs_of(document, file, strict=False))
+        if damaged:
+            # Only the damaged tail is scavenged — complete documents
+            # before it were already taken whole above.
+            runs.extend(_salvage_runs(text[damage_offset:]))
+        return cls(runs=runs)
 
     def save(self, path) -> None:
-        """Write the trajectory (stable key order, trailing newline)."""
+        """Write the trajectory atomically (temp file + rename).
+
+        Stable key order and a trailing newline keep diffs clean; the
+        rename guarantees readers see either the old file or the new one,
+        never a truncated intermediate.
+        """
+        file = Path(path)
         payload = {
             "schema": SCHEMA_VERSION,
             "runs": [run.as_dict() for run in self.runs],
         }
-        Path(path).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        tmp = file.with_name(file.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, file)
 
     # ------------------------------------------------------------------
     # Recording and introspection
@@ -154,3 +206,102 @@ class BenchTrajectory:
         if len(series) < 2 or not series[0]:
             return None
         return series[-1] / series[0]
+
+
+# ----------------------------------------------------------------------
+# File-shape helpers
+# ----------------------------------------------------------------------
+def _scan_documents(text: str) -> Tuple[List[Dict[str, Any]], str, int]:
+    """Split ``text`` into complete JSON documents plus a damage note.
+
+    Returns ``(documents, damage, damage_offset)`` where ``damage`` is an
+    empty string for a clean file and a short description otherwise
+    (truncated tail, non-JSON garbage, ...), and ``damage_offset`` is
+    where the undecodable tail begins.  ``raw_decode`` walks concatenated
+    documents, which is exactly the concurrent-append failure shape.
+    """
+    decoder = json.JSONDecoder()
+    documents: List[Dict[str, Any]] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        while index < length and text[index].isspace():
+            index += 1
+        if index >= length:
+            break
+        try:
+            payload, end = decoder.raw_decode(text, index)
+        except json.JSONDecodeError as error:
+            return documents, f"undecodable from offset {index}: {error.msg}", index
+        if isinstance(payload, dict):
+            documents.append(payload)
+        else:
+            return documents, f"non-object document at offset {index}", index
+        index = end
+    return documents, "", length
+
+
+def _runs_of(
+    document: Dict[str, Any], file: Path, strict: bool
+) -> List[BenchRecord]:
+    """Extract the run records of one trajectory document."""
+    if "runs" not in document:
+        if strict:
+            raise ReproError(f"{file} is not a bench trajectory (no 'runs')")
+        return []
+    schema = document.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        if strict:
+            raise ReproError(
+                f"{file} has schema {schema!r}, "
+                f"expected one of {SUPPORTED_SCHEMAS}"
+            )
+        return []
+    runs = document["runs"]
+    if not isinstance(runs, list):
+        if strict:
+            raise ReproError(f"{file}: 'runs' is not a list")
+        return []
+    records = []
+    for run in runs:
+        try:
+            records.append(BenchRecord.from_dict(run))
+        except ReproError:
+            if strict:
+                raise
+    return records
+
+
+def _salvage_runs(text: str) -> List[BenchRecord]:
+    """Recover complete run objects from a damaged trajectory file.
+
+    Scans for the run-shaped objects inside a (possibly truncated)
+    ``"runs": [...]`` array by decoding at every object start after the
+    array opener; incomplete trailing objects simply fail to decode and
+    are skipped.  Best effort by design — used only under
+    ``load(..., repair=True)``.
+    """
+    marker = text.find('"runs"')
+    if marker < 0:
+        return []
+    start = text.find("[", marker)
+    if start < 0:
+        return []
+    decoder = json.JSONDecoder()
+    records: List[BenchRecord] = []
+    index = start + 1
+    length = len(text)
+    while index < length:
+        while index < length and text[index] in " \t\r\n,":
+            index += 1
+        if index >= length or text[index] != "{":
+            break
+        try:
+            payload, index = decoder.raw_decode(text, index)
+        except json.JSONDecodeError:
+            break
+        try:
+            records.append(BenchRecord.from_dict(payload))
+        except ReproError:
+            pass
+    return records

@@ -148,6 +148,9 @@ class SynchronousSolver:
         literal discard-and-retry loop with ``poll_period``.
     read_only_inputs:
         The footnote-2 enhancement (see :func:`solver_namespace`).
+    batching / delta_stamps:
+        The wire-level fast path knobs, passed through to
+        :class:`~repro.protocols.base.DSMCluster` (causal protocol).
     """
 
     def __init__(
@@ -161,6 +164,8 @@ class SynchronousSolver:
         read_only_inputs: bool = True,
         record_history: bool = False,
         latency: Optional[LatencyModel] = None,
+        batching: bool = False,
+        delta_stamps: bool = False,
     ):
         if protocol not in ("causal", "atomic", "central"):
             raise ReproError(
@@ -182,6 +187,8 @@ class SynchronousSolver:
             latency=latency,
             namespace=solver_namespace(self.n, read_only_inputs),
             record_history=record_history,
+            batching=batching,
+            delta_stamps=delta_stamps,
         )
         self._phase_snapshots: List[CounterSnapshot] = []
 

@@ -36,6 +36,8 @@ class WorkloadConfig:
     think_time: float = 0.0
     protocol: str = "causal"
     no_cache: bool = False
+    batching: bool = False
+    delta_stamps: bool = False
     seed: int = 0
 
     def location(self, index: int) -> str:
@@ -76,6 +78,8 @@ def run_random_execution(
         policy=policy,
         record_history=True,
         no_cache=config.no_cache,
+        batching=config.batching,
+        delta_stamps=config.delta_stamps,
     )
 
     def process(api, proc: int):

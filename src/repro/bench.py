@@ -12,7 +12,11 @@ numbers to a persistent JSON trajectory (``BENCH_substrate.json``, see
   skipped by the watermark) pulled from every node's
   :class:`~repro.memory.local_store.LocalStore`;
 * **checker** — Definition 2 verification throughput of
-  :func:`~repro.checker.check_causal` over recorded random executions.
+  :func:`~repro.checker.check_causal` over recorded random executions;
+* **bandwidth** — an A/B of the wire-level fast path (schema v2): the
+  same mixed workload run on the baseline causal protocol and on the
+  batched + delta-stamp configuration, reporting bytes/op, writestamp
+  entries/op, batch occupancy, and the relative reductions.
 
 ``--smoke`` shrinks the workloads so the whole run finishes in a few
 seconds — that mode is exercised by the tier-1 test suite, keeping the
@@ -126,6 +130,90 @@ def bench_protocol(
     }
 
 
+def bench_bandwidth(
+    n_nodes: int, ops_per_proc: int, repeats: int
+) -> Dict[str, Any]:
+    """A/B the wire-level fast path against the baseline causal protocol.
+
+    Both sides run the same mixed single-writer-per-location workload
+    (each processor writes only its own locations, reads everyone's), so
+    the final authoritative state is identical and the comparison
+    isolates wire cost: the baseline pays full stamps and one round trip
+    per remote write; the fast path delta-encodes stamps and batches
+    write certifications.
+    """
+    from repro.protocols.base import DSMCluster
+
+    def run_side(batching: bool, delta_stamps: bool) -> Dict[str, Any]:
+        side: Dict[str, Any] = {}
+
+        def run() -> None:
+            cluster = DSMCluster(
+                n_nodes,
+                protocol="causal",
+                seed=5,
+                record_history=False,
+                batching=batching,
+                delta_stamps=delta_stamps,
+            )
+
+            def process(api, me):
+                for i in range(ops_per_proc):
+                    step = i % 6
+                    if step < 2:
+                        # Back-to-back writes to the processor's hot
+                        # location (a solver updating its component);
+                        # the write-behind queue coalesces these.
+                        yield api.write(f"loc{me}", i)
+                    elif step == 2:
+                        yield api.write(f"loc{me}.{i % 4}", i)
+                    else:
+                        yield api.read(f"loc{(me + i) % n_nodes}")
+
+            for node in range(n_nodes):
+                cluster.spawn(node, process, node)
+            cluster.run()
+            stats = cluster.stats
+            ops = n_nodes * ops_per_proc
+            side["messages"] = stats.total
+            side["bytes"] = stats.bytes_total
+            side["bytes_per_op"] = stats.bytes_total / ops
+            side["stamp_entries"] = stats.stamp_entries
+            side["stamp_entries_per_op"] = stats.stamp_entries / ops
+            side["stamp_entries_saved"] = stats.stamp_entries_saved
+            if batching:
+                batches = sum(n.wb_batches for n in cluster.nodes)
+                batched = sum(n.wb_batched_writes for n in cluster.nodes)
+                side["batches"] = batches
+                side["batched_writes"] = batched
+                coalesced = sum(n.wb_coalesced for n in cluster.nodes)
+                side["coalesced"] = coalesced
+                # Writes absorbed per frame: survivors + coalesced-away.
+                side["batch_occupancy"] = (
+                    (batched + coalesced) / batches if batches else 0.0
+                )
+
+        elapsed = _best_of(run, repeats)
+        ops = n_nodes * ops_per_proc
+        side["ops_per_sec"] = ops / elapsed
+        return side
+
+    baseline = run_side(batching=False, delta_stamps=False)
+    fastpath = run_side(batching=True, delta_stamps=True)
+
+    def reduction(key: str) -> float:
+        return (
+            1.0 - fastpath[key] / baseline[key] if baseline[key] else 0.0
+        )
+
+    return {
+        "baseline": baseline,
+        "fastpath": fastpath,
+        "bytes_per_op_reduction": reduction("bytes_per_op"),
+        "stamp_entries_per_op_reduction": reduction("stamp_entries_per_op"),
+    }
+
+
 def bench_checker(n_nodes: int, ops_per_proc: int, repeats: int) -> Dict[str, Any]:
     """Definition 2 verification of a recorded random execution."""
     from repro.apps.workload import WorkloadConfig, run_random_execution
@@ -176,6 +264,7 @@ def run_suite(
         "kernel": bench_kernel(kernel_events, repeats),
         "protocol": {},
         "checker": {},
+        "bandwidth": {},
     }
     for n in node_counts:
         say(f"protocol: n={n}, {protocol_ops} ops/proc x{repeats}")
@@ -183,6 +272,9 @@ def run_suite(
     for n in node_counts:
         say(f"checker: n={n}, {checker_ops} ops/proc x{repeats}")
         metrics["checker"][f"n={n}"] = bench_checker(n, checker_ops, repeats)
+    for n in node_counts:
+        say(f"bandwidth A/B: n={n}, {protocol_ops} ops/proc x{repeats}")
+        metrics["bandwidth"][f"n={n}"] = bench_bandwidth(n, protocol_ops, repeats)
     return metrics
 
 
@@ -202,6 +294,17 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
             lines.append(
                 f"{group} {key:<8} {data['ops_per_sec']:>12,.0f} ops/s{extra}"
             )
+    for key, data in metrics.get("bandwidth", {}).items():
+        base, fast = data["baseline"], data["fastpath"]
+        lines.append(
+            f"bandwidth {key:<6} "
+            f"{base['bytes_per_op']:>8.1f} -> {fast['bytes_per_op']:>8.1f} B/op "
+            f"(-{data['bytes_per_op_reduction']:.0%}), "
+            f"stamps/op {base['stamp_entries_per_op']:.1f} -> "
+            f"{fast['stamp_entries_per_op']:.1f} "
+            f"(-{data['stamp_entries_per_op_reduction']:.0%}), "
+            f"occupancy {fast.get('batch_occupancy', 0.0):.2f}"
+        )
     return lines
 
 

@@ -23,6 +23,10 @@ and local-store substrate, so their message counts are directly comparable:
     An ISIS-style "causal broadcast memory" — each write is causally
     broadcast and applied on delivery.  The paper's Figure 3 shows this is
     *not* causal memory; we reproduce the anomaly.
+
+:mod:`repro.protocols.wire` is not a protocol but the shared wire model:
+a deterministic byte cost for every message and an optional per-channel
+delta encoder for vector writestamps (see DESIGN.md Section 4.5).
 """
 
 from repro.protocols.base import DSMCluster, DSMNode, OpStats, WriteOutcome
@@ -36,6 +40,7 @@ from repro.protocols.policies import (
     LastWriterWins,
     OwnerFavoured,
 )
+from repro.protocols.wire import MessageCost, WireCodec, measure_message
 
 __all__ = [
     "DSMCluster",
@@ -51,4 +56,7 @@ __all__ = [
     "ConflictPolicy",
     "LastWriterWins",
     "OwnerFavoured",
+    "MessageCost",
+    "WireCodec",
+    "measure_message",
 ]

@@ -228,6 +228,13 @@ class DSMCluster:
         correctness".
     record_history:
         Record every application-level operation for the checkers.
+    batching:
+        Wire-level fast path (causal and broadcast protocols): coalesce
+        writes into batch frames — see DESIGN.md Section 4.5.
+    delta_stamps:
+        Install a :class:`~repro.protocols.wire.WireCodec` on the
+        network so vector-clock fields are delta-encoded per channel
+        (byte accounting only; message contents round-trip exactly).
 
     Examples
     --------
@@ -255,19 +262,34 @@ class DSMCluster:
         record_history: bool = True,
         no_cache: bool = False,
         unsafe_write_behind: bool = False,
+        batching: bool = False,
+        delta_stamps: bool = False,
     ):
         if n_nodes <= 0:
             raise ProtocolError(f"need at least one node, got {n_nodes}")
         self.n_nodes = n_nodes
         self.protocol = protocol
+        self.batching = batching
+        self.delta_stamps = delta_stamps
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, latency=latency, trace_messages=trace_messages)
+        codec = None
+        if delta_stamps:
+            from repro.protocols.wire import WireCodec
+
+            codec = WireCodec()
+        self.network = Network(
+            self.sim,
+            latency=latency,
+            trace_messages=trace_messages,
+            codec=codec,
+        )
         self.namespace = namespace or Namespace.hashed(n_nodes)
         self.scheduler = TaskScheduler(self.sim)
         self.recorder = HistoryRecorder() if record_history else None
         self.server: Optional[DSMNode] = None
         self.nodes: List[DSMNode] = self._build_nodes(
-            protocol, policy, initial_value, no_cache, unsafe_write_behind
+            protocol, policy, initial_value, no_cache, unsafe_write_behind,
+            batching,
         )
 
     def _build_nodes(
@@ -277,6 +299,7 @@ class DSMCluster:
         initial_value: Any,
         no_cache: bool,
         unsafe_write_behind: bool,
+        batching: bool,
     ) -> List[DSMNode]:
         # Local imports: the concrete engines subclass DSMNode from this
         # module, so importing them at module load would be circular.
@@ -303,6 +326,7 @@ class DSMCluster:
                     policy=policy,
                     no_cache=no_cache,
                     unsafe_write_behind=unsafe_write_behind,
+                    batching=batching,
                     **common,
                 )
                 for i in range(self.n_nodes)
@@ -310,6 +334,10 @@ class DSMCluster:
         if no_cache or unsafe_write_behind:
             raise ProtocolError(
                 "no_cache/unsafe_write_behind apply to the causal protocol only"
+            )
+        if batching and protocol != "broadcast":
+            raise ProtocolError(
+                "batching applies to the causal and broadcast protocols only"
             )
         if policy is not None:
             raise ProtocolError(
@@ -336,7 +364,10 @@ class DSMCluster:
                 for i in range(self.n_nodes)
             ]
         if protocol == "broadcast":
-            return [CausalBroadcastNode(i, **common) for i in range(self.n_nodes)]
+            return [
+                CausalBroadcastNode(i, batching=batching, **common)
+                for i in range(self.n_nodes)
+            ]
         raise ProtocolError(f"unknown protocol {protocol!r}")
 
     # ------------------------------------------------------------------

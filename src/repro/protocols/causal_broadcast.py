@@ -23,6 +23,17 @@ Concurrent writes to one location may be delivered in different orders
 at different nodes, so replicas diverge and reads can return values
 outside their live sets — the Figure 3 anomaly, which the causal checker
 catches (see ``benchmarks/bench_fig3_broadcast_anomaly.py``).
+
+With ``batching=True`` (the wire-level fast path) writes still apply
+locally at once, but dissemination is deferred: writes accumulate in a
+flush window, same-location writes coalesce (only the last survives),
+and one :class:`~repro.protocols.messages.BroadcastBatch` per
+destination carries the window.  Coalesced-away broadcasts leave *gaps*
+in the sender's sequence, so the delivery rule relaxes from
+``stamp[sender] == delivered[sender] + 1`` to ``stamp[sender] >
+delivered[sender]`` — safe because a batch frame lists its surviving
+writes in sender order and each write's stamp dominates the stamps of
+everything coalesced beneath it.
 """
 
 from __future__ import annotations
@@ -33,22 +44,37 @@ from repro.clocks import VectorClock
 from repro.errors import ProtocolError
 from repro.memory.local_store import INITIAL_WRITER, MemoryEntry
 from repro.protocols.base import DSMNode, WriteOutcome
-from repro.protocols.messages import BroadcastWrite
+from repro.protocols.messages import BroadcastBatch, BroadcastWrite
 from repro.sim import Future
 
 __all__ = ["CausalBroadcastNode"]
+
+#: How many scheduler turns a flush may wait for more same-instant writes.
+_WB_MAX_DELAY_HOPS = 16
+#: Window-size bound: a window this large flushes regardless.
+_WB_MAX_WINDOW = 32
 
 
 class CausalBroadcastNode(DSMNode):
     """One fully replicated node updated by causal broadcasts."""
 
-    def __init__(self, node_id: int, **kwargs: Any):
+    def __init__(self, node_id: int, *, batching: bool = False, **kwargs: Any):
         super().__init__(node_id, **kwargs)
         # V_i[j] = number of broadcasts from j delivered here (own
         # broadcasts count as delivered immediately).
         self.delivered = VectorClock.zero(self.n_nodes)
         self._replica: Dict[str, MemoryEntry] = {}
         self._held_back: List[BroadcastWrite] = []
+        self.batching = batching
+        #: Pending window, location -> the surviving broadcast for it.
+        self._wb_window: Dict[str, BroadcastWrite] = {}
+        self._wb_flush_scheduled = False
+        self._wb_flush_hops = 0
+        self._wb_flush_mark = 0
+        self._wb_writes_seen = 0
+        self.wb_batches = 0
+        self.wb_batched_writes = 0
+        self.wb_coalesced = 0
 
     # ------------------------------------------------------------------
     # Application API — reads and writes are local and non-blocking
@@ -80,12 +106,66 @@ class CausalBroadcastNode(DSMNode):
             value=value,
             stamp=stamp,
         )
-        for target in range(self.n_nodes):
-            if target != self.node_id:
-                self.network.send(self.node_id, target, message)
+        if self.batching:
+            # Defer dissemination; only the last write per location in
+            # the window is broadcast.  Each write still incremented
+            # delivered[self], so coalescing leaves sender-sequence gaps
+            # the batched delivery rule is built to jump.
+            if location in self._wb_window:
+                self.wb_coalesced += 1
+            self._wb_window[location] = message
+            self._wb_writes_seen += 1
+            if not self._wb_flush_scheduled:
+                self._wb_flush_scheduled = True
+                self._wb_flush_hops = 0
+                self._wb_flush_mark = self._wb_writes_seen
+                self.sim.call_soon(self._wb_flush_tick)
+        else:
+            for target in range(self.n_nodes):
+                if target != self.node_id:
+                    self.network.send(self.node_id, target, message)
         future = Future(label=f"bwrite:{self.node_id}:{location}")
         future.resolve(WriteOutcome(location=location, value=value))
         return future
+
+    def _wb_flush_tick(self) -> None:
+        """Delayed flush: re-arm while same-instant writes keep coming.
+
+        The first tick always re-arms once (the application's next step
+        is scheduled behind it); afterwards only actual growth of the
+        window extends the wait, bounded by ``_WB_MAX_DELAY_HOPS`` turns
+        and ``_WB_MAX_WINDOW`` surviving writes.
+        """
+        if not self._wb_window:
+            self._wb_flush_scheduled = False
+            return
+        grew = self._wb_writes_seen != self._wb_flush_mark
+        if (
+            (self._wb_flush_hops == 0 or grew)
+            and self._wb_flush_hops < _WB_MAX_DELAY_HOPS
+            and len(self._wb_window) < _WB_MAX_WINDOW
+        ):
+            self._wb_flush_hops += 1
+            self._wb_flush_mark = self._wb_writes_seen
+            self.sim.call_soon(self._wb_flush_tick)
+            return
+        self._wb_flush()
+
+    def _wb_flush(self) -> None:
+        """Broadcast the window: one BroadcastBatch per destination."""
+        self._wb_flush_scheduled = False
+        if not self._wb_window:
+            return
+        survivors = sorted(
+            self._wb_window.values(), key=lambda m: m.stamp[self.node_id]
+        )
+        self._wb_window = {}
+        self.wb_batches += 1
+        self.wb_batched_writes += len(survivors)
+        batch = BroadcastBatch(sender=self.node_id, writes=tuple(survivors))
+        for target in range(self.n_nodes):
+            if target != self.node_id:
+                self.network.send(self.node_id, target, batch)
 
     def discard(self, location: str) -> bool:
         """Replicas are authoritative; there is nothing to discard."""
@@ -106,11 +186,16 @@ class CausalBroadcastNode(DSMNode):
     # ------------------------------------------------------------------
     def handle_message(self, src: int, message: object) -> None:
         """Buffer the broadcast and deliver everything now deliverable."""
-        if not isinstance(message, BroadcastWrite):
+        if isinstance(message, BroadcastBatch):
+            # FIFO channels + in-frame sender order means held_back stays
+            # ordered per sender, which the jump delivery rule requires.
+            self._held_back.extend(message.writes)
+        elif isinstance(message, BroadcastWrite):
+            self._held_back.append(message)
+        else:
             raise ProtocolError(
                 f"broadcast node {self.node_id} got unexpected {message!r}"
             )
-        self._held_back.append(message)
         self._deliver_ready()
 
     def _deliver_ready(self) -> None:
@@ -127,7 +212,15 @@ class CausalBroadcastNode(DSMNode):
         stamp = msg.stamp.components
         delivered = self.delivered.components
         sender = msg.sender
-        if stamp[sender] != delivered[sender] + 1:
+        if self.batching:
+            # Coalesced-away broadcasts leave gaps in the sender
+            # sequence; the sender component may jump forward.  Held
+            # messages from one sender are scanned in send order and
+            # their stamps are componentwise monotone, so an earlier
+            # survivor always delivers before a later one.
+            if stamp[sender] <= delivered[sender]:
+                return False
+        elif stamp[sender] != delivered[sender] + 1:
             return False
         return all(
             s <= d

@@ -39,20 +39,51 @@ Paper enhancements implemented as options:
 * **No-cache mode** — read replies are not cached, forcing "a request to
   the owner on every read", which per Section 3.2 "results in a memory
   that satisfies atomic correctness".
+
+The wire-level fast path (``batching=True``, see DESIGN.md Section 4.5)
+replaces per-write round trips with a bounded write-behind queue that
+stays causal:
+
+* A remote write completes immediately (the future resolves, a tentative
+  copy is cached under the write's own stamp) and joins the queue.
+  Adjacent queued writes to the same owner form a *run*; same-location
+  writes within a run are **coalesced** (the superseded write's
+  certification obligation transfers to its successor).
+* Runs flush one at a time as :class:`~repro.protocols.messages.WriteBatch`
+  frames, each acknowledged by a single piggybacked
+  :class:`~repro.protocols.messages.WriteBatchReply` — cross-owner order
+  is enforced by waiting for the previous run's ack, so a later write is
+  never visible anywhere before an earlier write is certified.
+* Flushes trigger on enqueue (one scheduler turn later, so a burst of
+  writes in the same instant shares one frame), on a local read miss,
+  and whenever a remote request has to wait on the queue.
+* **Causal safety barrier**: while any own write is uncertified, this
+  node serves no ``READ`` — incoming read requests are deferred until
+  the queue drains.  Certifications (incoming batches) are served
+  immediately, but the stamps they hand out are clamped to the node's
+  *visible* vector time — the prefix of its own component covered by
+  certified-or-owned writes — so no uncertified write's component ever
+  leaves the node.  Together the two rules preserve exactly the
+  Figure 4 invariant: any value a processor can observe causally
+  follows only certified writes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.clocks import CONCURRENT, VectorClock
 from repro.errors import ProtocolError
 from repro.memory.local_store import MemoryEntry
 from repro.protocols.base import DSMNode, WriteOutcome
 from repro.protocols.messages import (
+    BatchedWriteReply,
     EntryPayload,
     ReadReply,
     ReadRequest,
+    WriteBatch,
+    WriteBatchReply,
     WriteReply,
     WriteRequest,
 )
@@ -60,6 +91,38 @@ from repro.protocols.policies import ConflictPolicy, LastWriterWins
 from repro.sim import Future
 
 __all__ = ["CausalOwnerNode"]
+
+#: Flush-delay bound: how many scheduler turns a flush may wait for the
+#: application to add more same-instant writes to the window.
+_WB_MAX_DELAY_HOPS = 16
+#: Run-size bound: a head run this large flushes regardless (the
+#: "bounded" in bounded write-behind queue).
+_WB_MAX_RUN = 32
+
+
+@dataclass(frozen=True)
+class _QueuedWrite:
+    """One write-behind entry awaiting certification."""
+
+    location: str
+    value: Any
+    stamp: VectorClock
+    seq: int
+
+
+@dataclass
+class _Run:
+    """Adjacent queued writes sharing one owner — one future batch frame.
+
+    ``seqs`` lists every own-component value whose certification this
+    run is responsible for, including writes coalesced away (their
+    obligation transfers to the surviving write).
+    """
+
+    owner: int
+    writes: List[_QueuedWrite]
+    seqs: List[int]
+    request_id: int = 0
 
 
 class CausalOwnerNode(DSMNode):
@@ -72,6 +135,7 @@ class CausalOwnerNode(DSMNode):
         policy: Optional[ConflictPolicy] = None,
         no_cache: bool = False,
         unsafe_write_behind: bool = False,
+        batching: bool = False,
         **kwargs: Any,
     ):
         super().__init__(node_id, **kwargs)
@@ -84,10 +148,40 @@ class CausalOwnerNode(DSMNode):
         # the violation) — and exists to demonstrate why Figure 4's
         # writes block.
         self.unsafe_write_behind = unsafe_write_behind
+        if batching and no_cache:
+            raise ProtocolError(
+                "batching requires caching (tentative entries live in the "
+                "cache); no_cache+batching is not a meaningful mode"
+            )
+        if batching and unsafe_write_behind:
+            raise ProtocolError(
+                "batching already completes writes early, safely; combining "
+                "it with unsafe_write_behind is contradictory"
+            )
+        self.batching = batching
         self._pending_reads: Dict[int, Tuple[Future, str, float]] = {}
         self._pending_writes: Dict[
             int, Tuple[Optional[Future], str, Any, float]
         ] = {}
+        # --- write-behind batching state (batching=True only) ---------
+        #: Queued runs, oldest first; the head flushes next.
+        self._wb_runs: List[_Run] = []
+        #: The run whose WriteBatch is in flight (at most one).
+        self._wb_outstanding: Optional[_Run] = None
+        self._wb_flush_scheduled = False
+        self._wb_flush_hops = 0
+        self._wb_flush_mark = 0
+        self._wb_enqueues = 0
+        #: Own-component values written but not yet owner-certified.
+        #: Non-empty == this node must not serve reads (safety barrier).
+        self._wb_uncertified: set = set()
+        #: Incoming ReadRequests parked until the queue drains.
+        self._wb_deferred_reads: List[Tuple[int, ReadRequest]] = []
+        # Occupancy counters for the bandwidth report.
+        self.wb_batches = 0
+        self.wb_batched_writes = 0
+        self.wb_coalesced = 0
+        self.wb_deferred_read_count = 0
 
     # ------------------------------------------------------------------
     # r_i(x)v  (Figure 4, first procedure)
@@ -104,6 +198,10 @@ class CausalOwnerNode(DSMNode):
             future.resolve(entry.value)
             return future
         self.stats.remote_reads += 1
+        if self.batching:
+            # A read miss is a flush point: push queued writes out now so
+            # the owner (FIFO channel) certifies them before serving us.
+            self._wb_flush()
         request_id = self.next_request_id()
         self._pending_reads[request_id] = (future, location, self.sim.now)
         owner = self.namespace.owner(location)
@@ -135,6 +233,25 @@ class CausalOwnerNode(DSMNode):
             future.resolve(WriteOutcome(location=location, value=value))
             return future
         self.stats.remote_writes += 1
+        if self.batching:
+            # Complete immediately, queue for certification.  Unlike
+            # unsafe_write_behind this stays causal: while the write is
+            # uncertified, this node defers incoming reads and clamps the
+            # stamps it hands out, so the write is observable only here.
+            seq = self.vt[self.node_id]
+            entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
+            self.store.put(location, entry)
+            self._record_write(location, value, entry)
+            self._notify_watchers(location, value)
+            self._wb_uncertified.add(seq)
+            self._wb_enqueue(
+                self.namespace.owner(location), location, value, self.vt, seq
+            )
+            future.resolve(WriteOutcome(location=location, value=value))
+            # Scheduled (not immediate): writes issued later in this same
+            # simulated instant join the same frame.
+            self._schedule_flush()
+            return future
         request_id = self.next_request_id()
         owner = self.namespace.owner(location)
         self.network.send(
@@ -164,6 +281,24 @@ class CausalOwnerNode(DSMNode):
         self._pending_writes[request_id] = (future, location, value, self.sim.now)
         return future
 
+    def discard(self, location: str) -> bool:
+        """The paper's ``discard``, refusing to evict dirty lines.
+
+        A tentative (uncertified) write-behind entry is a *dirty* cache
+        line: evicting it before write-back would let the next read miss
+        fetch causally older state from the owner — a read-your-writes
+        violation.  Such lines stay cached until their run is acked.
+        """
+        if self.batching:
+            cached = self.store.get(location)
+            if (
+                cached is not None
+                and cached.writer == self.node_id
+                and cached.stamp[self.node_id] in self._wb_uncertified
+            ):
+                return False
+        return super().discard(location)
+
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
@@ -173,11 +308,23 @@ class CausalOwnerNode(DSMNode):
         if kind is ReadReply:
             self._complete_read(message)
         elif kind is ReadRequest:
-            self._serve_read(src, message)
+            if self.batching and self._wb_uncertified:
+                # Safety barrier: our cache holds tentative writes whose
+                # components must not leak.  Park the read, hurry the
+                # queue along, serve after the drain.
+                self.wb_deferred_read_count += 1
+                self._wb_deferred_reads.append((src, message))
+                self._wb_flush()
+            else:
+                self._serve_read(src, message)
         elif kind is WriteRequest:
             self._serve_write(src, message)
         elif kind is WriteReply:
             self._complete_write(message)
+        elif kind is WriteBatch:
+            self._serve_write_batch(src, message)
+        elif kind is WriteBatchReply:
+            self._complete_write_batch(message)
         else:
             raise ProtocolError(
                 f"causal node {self.node_id} got unexpected {message!r}"
@@ -247,6 +394,16 @@ class CausalOwnerNode(DSMNode):
             installed = [payload.location for payload in msg.entries]
             self.store.invalidate_older_than(msg.stamp, keep=installed)
             for payload in msg.entries:
+                if self.batching and self._tentative_is_newer(
+                    payload.location, payload.stamp
+                ):
+                    # A page-mate of the miss is a location we have an
+                    # uncertified queued write for; the owner's copy
+                    # predates it.  Installing it would un-do our own
+                    # write (breaking read-your-writes), so keep ours.
+                    # The missed location itself can never hit this: a
+                    # tentative entry is valid, hence never a miss.
+                    continue
                 entry = MemoryEntry(
                     value=payload.value,
                     stamp=payload.stamp,
@@ -378,3 +535,285 @@ class CausalOwnerNode(DSMNode):
         future.resolve(
             WriteOutcome(location=location, value=survivor.value, applied=False)
         )
+
+    # ------------------------------------------------------------------
+    # Write-behind batching (the wire-level fast path, batching=True)
+    # ------------------------------------------------------------------
+    def _tentative_is_newer(self, location: str, stamp: VectorClock) -> bool:
+        """True if our cached copy of ``location`` is an own write newer
+        than ``stamp`` — i.e. an uncertified tentative the peer cannot
+        know about yet, which must survive installs from stale replies."""
+        cached = self.store.get(location)
+        return (
+            cached is not None
+            and cached.writer == self.node_id
+            and cached.stamp[self.node_id] > stamp[self.node_id]
+        )
+
+    def _visible_vt(self) -> VectorClock:
+        """This node's vector time with the own component clamped to the
+        newest *certified* own write.
+
+        Any stamp handed to another node while writes are queued must not
+        cover an uncertified own component — a peer merging it could then
+        observe (via a third party) a state that causally requires a
+        write nobody else has seen.  Components of other nodes are always
+        safe to pass on: they entered ``vt`` through messages, so their
+        writes are already visible elsewhere.
+        """
+        if not self._wb_uncertified:
+            return self.vt
+        horizon = min(self._wb_uncertified) - 1
+        comps = self.vt.components
+        me = self.node_id
+        if comps[me] <= horizon:
+            return self.vt
+        return VectorClock._from_trusted(
+            comps[:me] + (horizon,) + comps[me + 1:]
+        )
+
+    def _wb_enqueue(
+        self, owner: int, location: str, value: Any, stamp: VectorClock, seq: int
+    ) -> None:
+        self._wb_enqueues += 1
+        if self._wb_runs and self._wb_runs[-1].owner == owner:
+            run = self._wb_runs[-1]
+            for i, queued in enumerate(run.writes):
+                if queued.location == location and self.policy.coalescable(
+                    location, queued.value, value
+                ):
+                    # Same-location coalescing: the old write will never
+                    # be sent; the new write inherits its certification
+                    # obligation (``seqs`` keeps both components, so the
+                    # read barrier stays up until this run is acked).
+                    # The survivor moves to the *end* of the run — it is
+                    # the newest write, and batch sub-writes must stay in
+                    # program order (strictly increasing own components)
+                    # or the owner would certify them out of causal order.
+                    run.writes.pop(i)
+                    run.writes.append(_QueuedWrite(location, value, stamp, seq))
+                    run.seqs.append(seq)
+                    self.wb_coalesced += 1
+                    return
+            run.writes.append(_QueuedWrite(location, value, stamp, seq))
+            run.seqs.append(seq)
+            return
+        self._wb_runs.append(
+            _Run(owner=owner, writes=[_QueuedWrite(location, value, stamp, seq)],
+                 seqs=[seq])
+        )
+
+    def _schedule_flush(self) -> None:
+        """Arm the delayed flush (coalesces same-instant write bursts)."""
+        if self._wb_flush_scheduled or self._wb_outstanding is not None:
+            return
+        self._wb_flush_scheduled = True
+        self._wb_flush_hops = 0
+        self._wb_flush_mark = self._wb_enqueues
+        self.sim.call_soon(self._wb_flush_tick)
+
+    def _wb_flush_tick(self) -> None:
+        """The delayed-flush timer, one scheduler turn at a time.
+
+        The application's continuation is scheduled *after* this tick
+        was armed, so the first tick always re-arms once — giving the
+        app one turn to extend the window — and keeps re-arming while
+        new writes actually arrive, up to ``_WB_MAX_DELAY_HOPS`` turns
+        or a full head run.  All hops happen at one simulated instant;
+        only event order is spent.
+        """
+        if self._wb_outstanding is not None or not self._wb_runs:
+            self._wb_flush_scheduled = False
+            return
+        grew = self._wb_enqueues != self._wb_flush_mark
+        if (
+            (self._wb_flush_hops == 0 or grew)
+            and self._wb_flush_hops < _WB_MAX_DELAY_HOPS
+            and len(self._wb_runs[-1].writes) < _WB_MAX_RUN
+        ):
+            self._wb_flush_hops += 1
+            self._wb_flush_mark = self._wb_enqueues
+            self.sim.call_soon(self._wb_flush_tick)
+            return
+        self._wb_flush()
+
+    def _wb_flush(self) -> None:
+        """Send the head run now, unless one is already in flight.
+
+        One batch in flight at a time: the next run leaves only when the
+        previous run's ack returns.  This serialization is what makes
+        cross-owner causal order hold — owner B cannot certify a later
+        write before owner A certified an earlier one.
+        """
+        self._wb_flush_scheduled = False
+        if self._wb_outstanding is not None or not self._wb_runs:
+            return
+        run = self._wb_runs.pop(0)
+        run.request_id = self.next_request_id()
+        self._wb_outstanding = run
+        self.wb_batches += 1
+        self.wb_batched_writes += len(run.writes)
+        self.network.send(
+            self.node_id,
+            run.owner,
+            WriteBatch(
+                request_id=run.request_id,
+                writes=tuple(
+                    WriteRequest(
+                        request_id=run.request_id,
+                        location=w.location,
+                        value=w.value,
+                        stamp=w.stamp,
+                    )
+                    for w in run.writes
+                ),
+            ),
+        )
+
+    def _serve_write_batch(self, src: int, msg: WriteBatch) -> None:
+        """Certify a peer's batch — always immediately, never deferred.
+
+        Deferring certifications (like reads) could deadlock: two nodes
+        whose queues target each other would wait forever.  Immediate
+        service is safe because the reply stamps are clamped to
+        :meth:`_visible_vt`.
+        """
+        replies = []
+        for req in msg.writes:
+            replies.append(self._certify_batched(src, req))
+        self.network.send(
+            self.node_id,
+            src,
+            WriteBatchReply(
+                request_id=msg.request_id,
+                replies=tuple(replies),
+                stamp=self._visible_vt(),
+            ),
+        )
+
+    def _certify_batched(self, src: int, msg: WriteRequest) -> BatchedWriteReply:
+        """Figure 4's WRITE service for one sub-write of a batch.
+
+        Identical to :meth:`_serve_write` except the stored/reported
+        stamp is ``update(msg.stamp, visible_vt)`` rather than the full
+        ``vt`` — the canonical writestamp must not cover this owner's own
+        uncertified components.
+        """
+        if not self.store.owns(msg.location):
+            raise ProtocolError(
+                f"node {self.node_id} received batched WRITE for "
+                f"{msg.location!r} owned by {self.namespace.owner(msg.location)}"
+            )
+        self.vt = self.vt.update(msg.stamp)
+        current = self.store.get(msg.location)
+        assert current is not None
+        if current.stamp.compare(msg.stamp) == CONCURRENT:
+            apply = self.policy.apply_concurrent(
+                owner_id=self.node_id,
+                location=msg.location,
+                current=current,
+                incoming_writer=src,
+                incoming_value=msg.value,
+                incoming_stamp=msg.stamp,
+            )
+        else:
+            apply = True
+        if apply:
+            stamp = msg.stamp.update(self._visible_vt())
+            entry = MemoryEntry(value=msg.value, stamp=stamp, writer=src)
+            self.store.put(msg.location, entry)
+            self._notify_watchers(msg.location, msg.value)
+            self.store.invalidate_older_than(self.vt)
+            return BatchedWriteReply(location=msg.location, stamp=stamp)
+        if (
+            current.writer == self.node_id
+            and self._wb_uncertified
+            and current.stamp[self.node_id] >= min(self._wb_uncertified)
+        ):
+            # The surviving entry is an own *local* write performed after
+            # writes still sitting in our queue — its causal past is not
+            # yet certified, so its value must not leave this node.
+            # Reply without it; the rejected writer discards its copy and
+            # will fetch the survivor by a later (deferred) read.
+            survivor_payload = None
+        else:
+            survivor_payload = EntryPayload(
+                location=msg.location,
+                value=current.value,
+                stamp=current.stamp,
+                writer=current.writer,
+            )
+        return BatchedWriteReply(
+            location=msg.location,
+            stamp=msg.stamp.update(self._visible_vt()),
+            applied=False,
+            current=survivor_payload,
+        )
+
+    def _complete_write_batch(self, msg: WriteBatchReply) -> None:
+        run = self._wb_outstanding
+        if run is None or run.request_id != msg.request_id:
+            raise ProtocolError(
+                f"node {self.node_id} got stray batch reply {msg.request_id}"
+            )
+        self._wb_outstanding = None
+        self.vt = self.vt.update(msg.stamp)
+        for queued, sub in zip(run.writes, msg.replies):
+            self.vt = self.vt.update(sub.stamp)
+            if sub.applied:
+                # Refresh the tentative entry to the canonical stamp —
+                # unless a newer own write to the location is queued
+                # behind this one (its tentative copy must survive).
+                cached = self.store.get(queued.location)
+                if (
+                    cached is not None
+                    and cached.writer == self.node_id
+                    and cached.stamp[self.node_id] == sub.stamp[self.node_id]
+                ):
+                    self.store.put(
+                        queued.location,
+                        MemoryEntry(
+                            value=queued.value,
+                            stamp=sub.stamp,
+                            writer=self.node_id,
+                        ),
+                    )
+                continue
+            # Rejected by the owner's policy: adopt the surviving entry,
+            # as the unbatched path does — except when a newer own write
+            # to the location is still queued (it supersedes the survivor
+            # locally and will face the owner's policy itself).
+            self.stats.rejected_writes += 1
+            if self._tentative_is_newer(queued.location, sub.stamp):
+                continue
+            if sub.current is None:
+                # The owner withheld the survivor (its causal past was
+                # uncertified).  Drop our rejected tentative; the next
+                # read will miss and fetch the certified survivor.
+                cached = self.store.get(queued.location)
+                if (
+                    cached is not None
+                    and cached.writer == self.node_id
+                    and cached.stamp[self.node_id] == sub.stamp[self.node_id]
+                ):
+                    self.store.discard(queued.location)
+                continue
+            survivor = MemoryEntry(
+                value=sub.current.value,
+                stamp=sub.current.stamp,
+                writer=sub.current.writer,
+            )
+            self.store.invalidate_older_than(
+                survivor.stamp, keep=[queued.location]
+            )
+            self.store.put(queued.location, survivor)
+            self._notify_watchers(queued.location, survivor.value)
+        for seq in run.seqs:
+            self._wb_uncertified.discard(seq)
+        if self._wb_runs:
+            # Ack-chained: launch the next run in the same instant.
+            self._wb_flush()
+        elif not self._wb_uncertified and self._wb_deferred_reads:
+            drained, self._wb_deferred_reads = self._wb_deferred_reads, []
+            for src, deferred in drained:
+                self._serve_read(src, deferred)

@@ -1,0 +1,753 @@
+"""Wire-level serialization model: byte accounting and delta-encoded stamps.
+
+The paper's efficiency argument (Section 4.1) is stated in message
+*counts*, but the real cost axis for causal DSM metadata is message
+*size*: every protocol message carries at least one ``n``-entry vector
+writestamp, so stamp bytes grow linearly with the system while payloads
+stay constant (Xiang & Vaidya, arXiv:1703.05424).  This module makes
+bytes a first-class measurement and then optimizes them:
+
+* **Deterministic byte costs** — :func:`measure_message` assigns every
+  protocol message a reproducible wire size (header + payload fields +
+  writestamp entries) from the constants below.  The network calls it on
+  every send, so :class:`~repro.sim.trace.NetworkStats` accumulates
+  per-kind and per-edge byte totals alongside the paper's counts.
+* **Delta-encoded writestamps** — :class:`WireCodec` maintains, per
+  directed channel ``(src, dst)``, the last writestamp carried in either
+  direction of the encode walk; subsequent messages carry only the
+  vector-clock entries that *changed* since the previous message on the
+  channel.  The receiver reconstructs full stamps from its mirror of the
+  channel state.  Reliable FIFO channels (the paper's Section 3 network
+  assumption) make sender and receiver state converge; any loss —
+  a drop, a partition, a crashed endpoint — marks the channel dirty and
+  the next message falls back to a **full** stamp, which resynchronises
+  both sides unconditionally.
+
+The codec genuinely round-trips messages: stamps are stripped into
+:class:`EncodedStamp` tokens at send time and rebuilt at delivery time,
+so the protocol engines operate on *reconstructed* clocks.  A codec bug
+is therefore a protocol bug the lockstep property tests catch, not a
+mis-counted statistic.
+
+Cost model (all sizes in bytes; see DESIGN.md Section 4.5)::
+
+    frame header        12   kind tag, endpoints, channel seq, length
+    batch sub-header     4   kind tag + length of one nested message
+    request/seq ids      4
+    writer/node ids      4
+    location name        2 + len(name)
+    scalar value         8   (None/bool: 1, str: 2 + len)
+    stamp, full          2 + 4 * n        (count prefix + counters)
+    stamp, delta         2 + 6 * changed  (count prefix + index:counter)
+
+A delta entry costs more than a full entry (it must name its index), so
+the encoder automatically falls back to the full form whenever more than
+``2n/3`` entries changed — the delta path never loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.clocks import VectorClock
+from repro.errors import ReproError
+
+__all__ = [
+    "WireError",
+    "WireDesyncError",
+    "EncodedStamp",
+    "EncodedMessage",
+    "MessageCost",
+    "measure_message",
+    "fast_cost",
+    "value_bytes",
+    "location_bytes",
+    "stamp_full_bytes",
+    "stamp_delta_bytes",
+    "WireCodec",
+    "HEADER_BYTES",
+    "SUBHEADER_BYTES",
+    "ID_BYTES",
+    "STAMP_COUNT_BYTES",
+    "STAMP_FULL_ENTRY_BYTES",
+    "STAMP_DELTA_ENTRY_BYTES",
+]
+
+
+class WireError(ReproError):
+    """A malformed message reached the wire layer."""
+
+
+class WireDesyncError(WireError):
+    """A delta stamp arrived on a channel whose basis was lost.
+
+    Raised when a delivery-time loss (e.g. a crash healed mid-flight)
+    interleaves with already-encoded delta frames.  Send-time losses
+    never trigger this: the codec is told about them immediately and
+    falls back to full stamps.
+    """
+
+
+# ----------------------------------------------------------------------
+# Cost constants
+# ----------------------------------------------------------------------
+HEADER_BYTES = 12
+SUBHEADER_BYTES = 4
+ID_BYTES = 4
+STAMP_COUNT_BYTES = 2
+STAMP_FULL_ENTRY_BYTES = 4
+STAMP_DELTA_ENTRY_BYTES = 6
+
+
+def location_bytes(location: str) -> int:
+    """Length-prefixed location name."""
+    return 2 + len(location)
+
+
+def value_bytes(value: Any) -> int:
+    """Deterministic size of an application value on the wire."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, str):
+        return 2 + len(value)
+    return 8
+
+
+def stamp_full_bytes(dimension: int) -> int:
+    """A full writestamp: count prefix plus one counter per process."""
+    return STAMP_COUNT_BYTES + STAMP_FULL_ENTRY_BYTES * dimension
+
+
+def stamp_delta_bytes(changed: int) -> int:
+    """A delta writestamp: count prefix plus (index, counter) pairs."""
+    return STAMP_COUNT_BYTES + STAMP_DELTA_ENTRY_BYTES * changed
+
+
+def _delta_beats_full(changed: int, dimension: int) -> bool:
+    return stamp_delta_bytes(changed) < stamp_full_bytes(dimension)
+
+
+# ----------------------------------------------------------------------
+# Encoded forms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EncodedStamp:
+    """One writestamp as carried on the wire.
+
+    ``full`` stamps carry every component (``entries`` is the component
+    tuple indexed implicitly); delta stamps carry ``(index, value)``
+    pairs applied over the channel basis.
+    """
+
+    entries: Tuple[int, ...]
+    full: bool
+    dimension: int
+
+    @property
+    def carried_entries(self) -> int:
+        """Vector-clock entries physically present in this encoding."""
+        if self.full:
+            return self.dimension
+        return len(self.entries) // 2
+
+    @property
+    def byte_size(self) -> int:
+        """Wire size of this stamp encoding."""
+        if self.full:
+            return stamp_full_bytes(self.dimension)
+        return stamp_delta_bytes(self.carried_entries)
+
+
+@dataclass(frozen=True)
+class EncodedMessage:
+    """A protocol message after stamp stripping, ready for 'delivery'.
+
+    ``template`` is the original message with every
+    :class:`~repro.clocks.VectorClock` field replaced by an
+    :class:`EncodedStamp`; ``decode`` rebuilds the original.  ``kind``
+    mirrors the inner message so statistics attribute frames to protocol
+    roles, and ``channel_seq`` lets the receiver detect lost frames.
+    """
+
+    kind: str
+    template: object
+    channel_seq: int
+    byte_size: int
+    stamp_entries: int
+    stamp_entries_full: int
+
+
+@dataclass(frozen=True)
+class MessageCost:
+    """The deterministic wire cost of one message."""
+
+    byte_size: int
+    stamp_entries: int
+    stamp_count: int
+
+    def __iter__(self):
+        yield self.byte_size
+        yield self.stamp_entries
+
+
+# ----------------------------------------------------------------------
+# Per-type cost plans and stamp walkers
+# ----------------------------------------------------------------------
+#
+# Each protocol message type registers:
+#   body(msg)    -> byte size of everything except stamps and the header
+#   stamps(msg)  -> the message's VectorClock fields, in a fixed walk order
+#   rebuild(msg, stamps) -> a copy of msg with the walked stamps replaced
+#
+# The walk order is the contract between encoder and decoder: both sides
+# traverse stamps identically, so the running per-channel basis stays in
+# lockstep.  Unknown message types fall back to a generic plan so test
+# doubles and future messages are still accounted for.
+
+_BodyFn = Callable[[Any], int]
+_StampsFn = Callable[[Any], List[VectorClock]]
+_RebuildFn = Callable[[Any, List[Any]], Any]
+# cost(msg) -> (byte_size, stamp_entries): an allocation-free fast path
+# equivalent to HEADER + body + full stamps.  The network charges every
+# send through this, so it must not build lists or dataclasses; the
+# readable body/stamps walk stays the authoritative definition and
+# tests/test_wire.py asserts the two agree for every message type.
+_CostFn = Callable[[Any], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class _WirePlan:
+    body: _BodyFn
+    stamps: _StampsFn
+    rebuild: _RebuildFn
+    cost: Optional[_CostFn] = None
+
+
+_PLANS: Dict[type, _WirePlan] = {}
+
+
+def _register(message_type: type, plan: _WirePlan) -> None:
+    _PLANS[message_type] = plan
+
+
+def _no_stamps(_msg: Any) -> List[VectorClock]:
+    return []
+
+
+def _keep(msg: Any, _stamps: List[Any]) -> Any:
+    return msg
+
+
+def _entry_payload_body(payload) -> int:
+    return location_bytes(payload.location) + value_bytes(payload.value) + ID_BYTES
+
+
+def _build_plans() -> None:
+    from repro.protocols import messages as m
+
+    # Constants folded into closure locals: the cost functions run on
+    # every Network.send, so global lookups are trimmed to bind-time.
+    H, SUB, ID = HEADER_BYTES, SUBHEADER_BYTES, ID_BYTES
+    SC, SF = STAMP_COUNT_BYTES, STAMP_FULL_ENTRY_BYTES
+    vb = value_bytes
+    # One full stamp of dimension d costs SC + SF*d; an entry payload
+    # (location + value + writer id) costs (2 + len(loc)) + vb + ID.
+
+    # -- causal owner (Figure 4) --------------------------------------
+    _register(m.ReadRequest, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + location_bytes(msg.unit),
+        stamps=_no_stamps,
+        rebuild=_keep,
+        cost=lambda msg, _f=H + ID + 4: (
+            _f + len(msg.location) + len(msg.unit), 0),
+    ))
+
+    def _read_reply_stamps(msg) -> List[VectorClock]:
+        stamps = [entry.stamp for entry in msg.entries]
+        stamps.append(msg.stamp)
+        return stamps
+
+    def _read_reply_rebuild(msg, stamps):
+        entries = tuple(
+            replace(entry, stamp=stamp)
+            for entry, stamp in zip(msg.entries, stamps)
+        )
+        return replace(msg, entries=entries, stamp=stamps[-1])
+
+    def _read_reply_cost(msg, _f=H + ID + 4, _pe=2 + ID):
+        dim = msg.stamp.dimension
+        stamp = SC + SF * dim
+        n = _f + len(msg.location) + stamp
+        count = 1
+        for entry in msg.entries:
+            n += _pe + len(entry.location) + vb(entry.value) + stamp
+            count += 1
+        return n, count * dim
+
+    _register(m.ReadReply, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location) + 2
+        + sum(_entry_payload_body(entry) for entry in msg.entries),
+        stamps=_read_reply_stamps,
+        rebuild=_read_reply_rebuild,
+        cost=_read_reply_cost,
+    ))
+
+    def _write_request_cost(msg, _f=H + ID + 2 + SC):
+        dim = msg.stamp.dimension
+        return _f + len(msg.location) + vb(msg.value) + SF * dim, dim
+
+    _register(m.WriteRequest, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value),
+        stamps=lambda msg: [msg.stamp],
+        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        cost=_write_request_cost,
+    ))
+
+    def _write_reply_stamps(msg) -> List[VectorClock]:
+        stamps = [msg.stamp]
+        if msg.current is not None:
+            stamps.append(msg.current.stamp)
+        return stamps
+
+    def _write_reply_rebuild(msg, stamps):
+        current = msg.current
+        if current is not None:
+            current = replace(current, stamp=stamps[1])
+        return replace(msg, stamp=stamps[0], current=current)
+
+    def _write_reply_cost(msg, _f=H + ID + 3 + SC, _pe=2 + ID):
+        dim = msg.stamp.dimension
+        n = _f + len(msg.location) + vb(msg.value) + SF * dim
+        count = 1
+        current = msg.current
+        if current is not None:
+            n += _pe + len(current.location) + vb(current.value) + SC + SF * dim
+            count = 2
+        return n, count * dim
+
+    _register(m.WriteReply, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value) + 1
+        + (_entry_payload_body(msg.current) if msg.current is not None else 0),
+        stamps=_write_reply_stamps,
+        rebuild=_write_reply_rebuild,
+        cost=_write_reply_cost,
+    ))
+
+    # -- batched causal owner -----------------------------------------
+    def _wb_body(msg) -> int:
+        return ID_BYTES + 2 + sum(
+            SUBHEADER_BYTES + location_bytes(w.location) + value_bytes(w.value)
+            for w in msg.writes
+        )
+
+    def _wb_rebuild(msg, stamps):
+        writes = tuple(
+            replace(w, stamp=stamp) for w, stamp in zip(msg.writes, stamps)
+        )
+        return replace(msg, writes=writes)
+
+    def _wb_cost(msg, _f=H + ID + 2, _ps=SUB + 2 + SC):
+        writes = msg.writes
+        if not writes:
+            return _f, 0
+        dim = writes[0].stamp.dimension
+        n = _f + len(writes) * (_ps + SF * dim)
+        for w in writes:
+            n += len(w.location) + vb(w.value)
+        return n, len(writes) * dim
+
+    _register(m.WriteBatch, _WirePlan(
+        body=_wb_body,
+        stamps=lambda msg: [w.stamp for w in msg.writes],
+        rebuild=_wb_rebuild,
+        cost=_wb_cost,
+    ))
+
+    def _wbr_body(msg) -> int:
+        total = ID_BYTES + 2
+        for sub in msg.replies:
+            total += SUBHEADER_BYTES + location_bytes(sub.location) + 1
+            if sub.current is not None:
+                total += _entry_payload_body(sub.current)
+        return total
+
+    def _wbr_stamps(msg) -> List[VectorClock]:
+        stamps: List[VectorClock] = []
+        for sub in msg.replies:
+            stamps.append(sub.stamp)
+            if sub.current is not None:
+                stamps.append(sub.current.stamp)
+        stamps.append(msg.stamp)
+        return stamps
+
+    def _wbr_rebuild(msg, stamps):
+        rebuilt = []
+        index = 0
+        for sub in msg.replies:
+            stamp = stamps[index]
+            index += 1
+            current = sub.current
+            if current is not None:
+                current = replace(current, stamp=stamps[index])
+                index += 1
+            rebuilt.append(replace(sub, stamp=stamp, current=current))
+        return replace(msg, replies=tuple(rebuilt), stamp=stamps[index])
+
+    def _wbr_cost(msg, _f=H + ID + 2 + SC, _ps=SUB + 3 + SC, _pe=2 + ID):
+        dim = msg.stamp.dimension
+        stamp = SF * dim
+        n = _f + stamp
+        count = 1
+        for sub in msg.replies:
+            n += _ps + len(sub.location) + stamp
+            count += 1
+            current = sub.current
+            if current is not None:
+                n += _pe + len(current.location) + vb(current.value) + SC + stamp
+                count += 1
+        return n, count * dim
+
+    _register(m.WriteBatchReply, _WirePlan(
+        body=_wbr_body,
+        stamps=_wbr_stamps,
+        rebuild=_wbr_rebuild,
+        cost=_wbr_cost,
+    ))
+
+    def _loc_only_cost(msg, _f=H + ID + 2):
+        return _f + len(msg.location), 0
+
+    def _loc_value_id_cost(msg, _f=H + ID + ID + 2):
+        return _f + len(msg.location) + vb(msg.value), 0
+
+    def _stamped_reply_cost(msg, _f=H + ID + ID + 2 + SC):
+        dim = msg.stamp.dimension
+        return _f + len(msg.location) + vb(msg.value) + SF * dim, dim
+
+    # -- atomic owner baseline ----------------------------------------
+    _register(m.AtomicReadRequest, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location),
+        stamps=_no_stamps, rebuild=_keep, cost=_loc_only_cost,
+    ))
+    _register(m.AtomicReadReply, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value) + ID_BYTES,
+        stamps=lambda msg: [msg.stamp],
+        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        cost=_stamped_reply_cost,
+    ))
+    _register(m.AtomicWriteRequest, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value) + ID_BYTES,
+        stamps=_no_stamps, rebuild=_keep, cost=_loc_value_id_cost,
+    ))
+    _register(m.AtomicWriteReply, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value),
+        stamps=_no_stamps, rebuild=_keep,
+        cost=lambda msg, _f=H + ID + 2: (
+            _f + len(msg.location) + vb(msg.value), 0),
+    ))
+    _register(m.Invalidate, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location),
+        stamps=_no_stamps, rebuild=_keep, cost=_loc_only_cost,
+    ))
+    _register(m.InvalidateAck, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location),
+        stamps=_no_stamps, rebuild=_keep, cost=_loc_only_cost,
+    ))
+
+    # -- central server ------------------------------------------------
+    _register(m.CentralRead, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location),
+        stamps=_no_stamps, rebuild=_keep, cost=_loc_only_cost,
+    ))
+    _register(m.CentralWrite, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value) + ID_BYTES,
+        stamps=_no_stamps, rebuild=_keep, cost=_loc_value_id_cost,
+    ))
+    _register(m.CentralReply, _WirePlan(
+        body=lambda msg: ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value) + ID_BYTES,
+        stamps=lambda msg: [msg.stamp],
+        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        cost=_stamped_reply_cost,
+    ))
+
+    # -- causal broadcast ----------------------------------------------
+    _register(m.BroadcastWrite, _WirePlan(
+        body=lambda msg: ID_BYTES + ID_BYTES + location_bytes(msg.location)
+        + value_bytes(msg.value),
+        stamps=lambda msg: [msg.stamp],
+        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        cost=_stamped_reply_cost,
+    ))
+
+    def _bb_body(msg) -> int:
+        return ID_BYTES + 2 + sum(
+            SUBHEADER_BYTES + ID_BYTES + location_bytes(w.location)
+            + value_bytes(w.value)
+            for w in msg.writes
+        )
+
+    def _bb_rebuild(msg, stamps):
+        writes = tuple(
+            replace(w, stamp=stamp) for w, stamp in zip(msg.writes, stamps)
+        )
+        return replace(msg, writes=writes)
+
+    def _bb_cost(msg, _f=H + ID + 2, _ps=SUB + ID + 2 + SC):
+        writes = msg.writes
+        if not writes:
+            return _f, 0
+        dim = writes[0].stamp.dimension
+        n = _f + len(writes) * (_ps + SF * dim)
+        for w in writes:
+            n += len(w.location) + vb(w.value)
+        return n, len(writes) * dim
+
+    _register(m.BroadcastBatch, _WirePlan(
+        body=_bb_body,
+        stamps=lambda msg: [w.stamp for w in msg.writes],
+        rebuild=_bb_rebuild,
+        cost=_bb_cost,
+    ))
+
+
+def _generic_plan(message: object) -> _WirePlan:
+    """Fallback plan: size unknown messages from their public attributes."""
+
+    def body(msg) -> int:
+        try:
+            attrs = vars(msg)
+        except TypeError:
+            return 8  # slotted test double: flat estimate
+        return sum(value_bytes(attrs[name]) for name in sorted(attrs)) or 8
+
+    return _WirePlan(body=body, stamps=_no_stamps, rebuild=_keep)
+
+
+def _plan_for(message: object) -> _WirePlan:
+    if not _PLANS:
+        _build_plans()
+    plan = _PLANS.get(type(message))
+    if plan is None:
+        plan = _generic_plan(message)
+        _PLANS[type(message)] = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Stateless measurement (full stamps)
+# ----------------------------------------------------------------------
+def measure_message(message: object) -> MessageCost:
+    """The wire cost of ``message`` with full (non-delta) writestamps.
+
+    This is what the network charges when no :class:`WireCodec` is
+    installed — the honest baseline the delta path is compared against.
+    """
+    plan = _plan_for(message)
+    stamps = plan.stamps(message)
+    nbytes = HEADER_BYTES + plan.body(message)
+    entries = 0
+    for stamp in stamps:
+        nbytes += stamp_full_bytes(stamp.dimension)
+        entries += stamp.dimension
+    return MessageCost(
+        byte_size=nbytes, stamp_entries=entries, stamp_count=len(stamps)
+    )
+
+
+def fast_cost(message: object) -> Tuple[int, int]:
+    """``(byte_size, stamp_entries)`` of ``message``, allocation-free.
+
+    The network charges every send through this, so registered types use
+    a hand-fused cost function instead of the body/stamps walk (which
+    builds a list and a :class:`MessageCost` per call).  The walk stays
+    the authoritative definition; ``tests/test_wire.py`` asserts both
+    paths agree for every message type.
+    """
+    plan = _plan_for(message)
+    cost = plan.cost
+    if cost is not None:
+        return cost(message)
+    measured = measure_message(message)
+    return measured.byte_size, measured.stamp_entries
+
+
+def cost_table() -> Dict[type, _CostFn]:
+    """The fused cost functions by message type, for direct dispatch.
+
+    The network looks its messages up here to skip even the
+    :func:`fast_cost` call frame; types missing from the table (test
+    doubles, future messages) go through :func:`fast_cost` instead.
+    """
+    if not _PLANS:
+        _build_plans()
+    return {
+        message_type: plan.cost
+        for message_type, plan in _PLANS.items()
+        if plan.cost is not None
+    }
+
+
+# ----------------------------------------------------------------------
+# The per-channel delta codec
+# ----------------------------------------------------------------------
+class _ChannelState:
+    """One direction of one channel: basis stamp plus a frame sequence."""
+
+    __slots__ = ("basis", "seq")
+
+    def __init__(self) -> None:
+        self.basis: Optional[Tuple[int, ...]] = None
+        self.seq = 0
+
+
+class WireCodec:
+    """Delta-encodes writestamps over reliable FIFO channels.
+
+    One codec instance serves one network: it holds the sender-side and
+    receiver-side basis per directed channel.  ``encode`` must be called
+    in send order and ``decode`` in delivery order — exactly the orders
+    the FIFO network already guarantees.
+
+    Statistics accumulate on the codec itself (`stamps_encoded`,
+    `stamps_full`, `entries_carried`, `entries_saved`) so benchmarks can
+    report how often the delta path engages.
+    """
+
+    def __init__(self) -> None:
+        self._send_state: Dict[Tuple[int, int], _ChannelState] = {}
+        self._recv_state: Dict[Tuple[int, int], _ChannelState] = {}
+        self.stamps_encoded = 0
+        self.stamps_full = 0
+        self.entries_carried = 0
+        self.entries_saved = 0
+
+    # -- channel state -------------------------------------------------
+    def _sender(self, src: int, dst: int) -> _ChannelState:
+        state = self._send_state.get((src, dst))
+        if state is None:
+            state = self._send_state[(src, dst)] = _ChannelState()
+        return state
+
+    def _receiver(self, src: int, dst: int) -> _ChannelState:
+        state = self._recv_state.get((src, dst))
+        if state is None:
+            state = self._recv_state[(src, dst)] = _ChannelState()
+        return state
+
+    def mark_dirty(self, src: int, dst: int) -> None:
+        """Force the next message on ``(src, dst)`` to carry full stamps.
+
+        Called by the network whenever a message on the channel is lost
+        (drop, partition, crash): the receiver's basis can no longer be
+        assumed to match, so the delta chain restarts from a full stamp.
+        """
+        state = self._send_state.get((src, dst))
+        if state is not None:
+            state.basis = None
+
+    def mark_node_dirty(self, node_id: int) -> None:
+        """Dirty every channel to or from ``node_id`` (crash handling)."""
+        for (src, dst), state in self._send_state.items():
+            if src == node_id or dst == node_id:
+                state.basis = None
+
+    # -- encode / decode -----------------------------------------------
+    def encode(self, src: int, dst: int, message: object) -> EncodedMessage:
+        """Strip stamps into channel-delta form; returns the wire frame."""
+        plan = _plan_for(message)
+        stamps = plan.stamps(message)
+        state = self._sender(src, dst)
+        state.seq += 1
+        nbytes = HEADER_BYTES + plan.body(message)
+        carried = 0
+        full_equivalent = 0
+        encoded_stamps: List[EncodedStamp] = []
+        basis = state.basis
+        for stamp in stamps:
+            components = stamp.components
+            dimension = len(components)
+            full_equivalent += dimension
+            if basis is None or len(basis) != dimension:
+                encoded = EncodedStamp(
+                    entries=components, full=True, dimension=dimension
+                )
+            else:
+                changed: List[int] = []
+                for index, (new, old) in enumerate(zip(components, basis)):
+                    if new != old:
+                        changed.append(index)
+                        changed.append(new)
+                if _delta_beats_full(len(changed) // 2, dimension):
+                    encoded = EncodedStamp(
+                        entries=tuple(changed), full=False, dimension=dimension
+                    )
+                else:
+                    encoded = EncodedStamp(
+                        entries=components, full=True, dimension=dimension
+                    )
+            encoded_stamps.append(encoded)
+            nbytes += encoded.byte_size
+            carried += encoded.carried_entries
+            self.stamps_encoded += 1
+            if encoded.full:
+                self.stamps_full += 1
+            basis = components
+        state.basis = basis
+        self.entries_carried += carried
+        self.entries_saved += full_equivalent - carried
+        template = plan.rebuild(message, encoded_stamps) if stamps else message
+        return EncodedMessage(
+            kind=getattr(message, "kind", type(message).__name__),
+            template=template,
+            channel_seq=state.seq,
+            byte_size=nbytes,
+            stamp_entries=carried,
+            stamp_entries_full=full_equivalent,
+        )
+
+    def decode(self, src: int, dst: int, frame: EncodedMessage) -> object:
+        """Rebuild the original message from the channel basis."""
+        state = self._receiver(src, dst)
+        gap = frame.channel_seq != state.seq + 1
+        state.seq = frame.channel_seq
+        message = frame.template
+        plan = _plan_for(message)
+        encoded_stamps = plan.stamps(message)
+        if not encoded_stamps:
+            return message
+        basis = state.basis
+        rebuilt: List[VectorClock] = []
+        for encoded in encoded_stamps:
+            if not isinstance(encoded, EncodedStamp):
+                raise WireError(
+                    f"decode of {frame.kind} found a raw stamp {encoded!r}; "
+                    "was this frame already decoded?"
+                )
+            if encoded.full:
+                components = encoded.entries
+                gap = False  # a full stamp resynchronises the basis
+            else:
+                if gap or basis is None or len(basis) != encoded.dimension:
+                    raise WireDesyncError(
+                        f"delta stamp on channel ({src}->{dst}) without a "
+                        "basis; a frame was lost after later frames were "
+                        "already encoded"
+                    )
+                mutable = list(basis)
+                entries = encoded.entries
+                for position in range(0, len(entries), 2):
+                    mutable[entries[position]] = entries[position + 1]
+                components = tuple(mutable)
+            rebuilt.append(VectorClock._from_trusted(components))
+            basis = components
+        state.basis = basis
+        return plan.rebuild(message, rebuilt)

@@ -13,6 +13,13 @@ exactly that contract on top of the simulation kernel:
 
 Nodes are integers.  Each node registers a single handler; protocol engines
 dispatch internally on the message's ``kind``.
+
+Every send is charged a deterministic wire cost (bytes and writestamp
+entries, per :mod:`repro.protocols.wire`) which accumulates in
+:attr:`Network.stats` per kind and per directed edge.  Installing a
+:class:`~repro.protocols.wire.WireCodec` additionally delta-encodes the
+vector-clock fields per channel; the network tells the codec about every
+loss (drop, partition, crash) so it can fall back to full stamps.
 """
 
 from __future__ import annotations
@@ -49,11 +56,22 @@ class Network:
         latency: Optional[LatencyModel] = None,
         trace_messages: bool = False,
         send_service_time: float = 0.0,
+        codec: Optional[object] = None,
     ):
         if send_service_time < 0:
             raise NetworkError(
                 f"service time must be non-negative, got {send_service_time}"
             )
+        # Imported here, not at module level: repro.protocols.base imports
+        # repro.sim, so a module-level import of the wire model would be
+        # circular.  Networks are built long after both packages load.
+        from repro.protocols.wire import WireCodec, cost_table, fast_cost
+
+        if codec is not None and not isinstance(codec, WireCodec):
+            raise NetworkError(f"codec must be a WireCodec, got {codec!r}")
+        self._measure = fast_cost
+        self._cost_table = cost_table()
+        self.codec = codec
         self.sim = sim
         self.latency = latency or ConstantLatency(1.0)
         #: Per-sender transmit serialization: each outgoing message
@@ -109,6 +127,10 @@ class Network:
     def crash(self, node_id: int) -> None:
         """Drop all messages to and from ``node_id``."""
         self._crashed.add(node_id)
+        if self.codec is not None:
+            # In-flight messages to the node will be lost on arrival;
+            # restart every affected delta chain from a full stamp.
+            self.codec.mark_node_dirty(node_id)
 
     def set_drop_rate(self, rate: float) -> None:
         """Drop each message independently with probability ``rate``."""
@@ -144,6 +166,10 @@ class Network:
             or (self._drop_rate > 0.0 and self._rng.random() < self._drop_rate)
         )
         if dropped:
+            if self.codec is not None:
+                # The receiver will never see this message, so the delta
+                # basis diverges: restart the chain from a full stamp.
+                self.codec.mark_dirty(src, dst)
             record = MessageRecord(
                 seq=seq, src=src, dst=dst, kind=kind, payload=message,
                 sent_at=now, delivered_at=float("inf"), dropped=True,
@@ -151,6 +177,21 @@ class Network:
             self.stats.record(record)
             self.trace.record(record)
             return
+
+        if self.codec is not None:
+            frame = self.codec.encode(src, dst, message)
+            payload: object = frame
+            nbytes = frame.byte_size
+            stamp_entries = frame.stamp_entries
+            stamp_entries_full = frame.stamp_entries_full
+        else:
+            payload = message
+            cost_fn = self._cost_table.get(type(message))
+            if cost_fn is not None:
+                nbytes, stamp_entries = cost_fn(message)
+            else:
+                nbytes, stamp_entries = self._measure(message)
+            stamp_entries_full = stamp_entries
 
         delay = self.latency.delay(src, dst, self._rng)
         if delay < 0:
@@ -166,19 +207,31 @@ class Network:
         deliver_at = max(deliver_at, floor)
         self._last_delivery[(src, dst)] = deliver_at
 
-        self.stats.count_sent(kind, src, dst, deliver_at - now)
+        self.stats.count_sent(
+            kind, src, dst, deliver_at - now,
+            byte_size=nbytes,
+            stamp_entries=stamp_entries,
+            stamp_entries_full=stamp_entries_full,
+        )
         if self.trace.enabled:
             # The full MessageRecord is only materialised when someone is
             # listening — construction dominates `send` otherwise.
             self.trace.record(MessageRecord(
                 seq=seq, src=src, dst=dst, kind=kind, payload=message,
                 sent_at=now, delivered_at=deliver_at, dropped=False,
+                byte_size=nbytes, stamp_entries=stamp_entries,
             ))
         self.sim.schedule_at(
-            deliver_at, lambda: self._deliver(src, dst, message)
+            deliver_at, lambda: self._deliver(src, dst, payload)
         )
 
     def _deliver(self, src: int, dst: int, payload: object) -> None:
         if dst in self._crashed:
-            return  # crashed after send; message lost on arrival
+            # Crashed after send; message lost on arrival.  The receiver's
+            # delta basis never advanced, so the channel must resync.
+            if self.codec is not None:
+                self.codec.mark_dirty(src, dst)
+            return
+        if self.codec is not None:
+            payload = self.codec.decode(src, dst, payload)
         self._handlers[dst](src, payload)

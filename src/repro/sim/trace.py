@@ -7,6 +7,12 @@ comparable atomic DSM.  This module is the measurement instrument: every
 message the network delivers is recorded with its type, endpoints and
 timestamps, and counters can be snapshotted so harnesses can attribute
 messages to intervals (e.g. per solver iteration).
+
+Beyond counts, the stats track *bytes* and *writestamp entries* per kind
+and per directed edge, using the deterministic cost model of
+:mod:`repro.protocols.wire` — size, not count, is the real metadata cost
+axis for causal DSM, and the delta-stamp / batching fast path is judged
+on these byte counters.
 """
 
 from __future__ import annotations
@@ -20,7 +26,11 @@ __all__ = ["MessageRecord", "NetworkStats", "MessageTrace", "CounterSnapshot"]
 
 @dataclass(frozen=True)
 class MessageRecord:
-    """One delivered (or dropped) message."""
+    """One delivered (or dropped) message.
+
+    ``byte_size`` and ``stamp_entries`` are the wire-model costs charged
+    when the message was sent (0 for records predating byte accounting).
+    """
 
     seq: int
     src: int
@@ -30,6 +40,8 @@ class MessageRecord:
     sent_at: float
     delivered_at: float
     dropped: bool = False
+    byte_size: int = 0
+    stamp_entries: int = 0
 
     @property
     def latency(self) -> float:
@@ -46,6 +58,8 @@ class CounterSnapshot:
     by_kind: Dict[str, int]
     by_sender: Dict[int, int]
     by_receiver: Dict[int, int]
+    bytes_total: int = 0
+    stamp_entries: int = 0
 
     def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
         """Counters accumulated strictly after ``earlier``."""
@@ -55,6 +69,8 @@ class CounterSnapshot:
             by_kind=_sub(self.by_kind, earlier.by_kind),
             by_sender=_sub(self.by_sender, earlier.by_sender),
             by_receiver=_sub(self.by_receiver, earlier.by_receiver),
+            bytes_total=self.bytes_total - earlier.bytes_total,
+            stamp_entries=self.stamp_entries - earlier.stamp_entries,
         )
 
 
@@ -68,41 +84,140 @@ def _sub(new: Dict, old: Dict) -> Dict:
 
 
 class NetworkStats:
-    """Running counters over all messages sent through a network."""
+    """Running counters over all messages sent through a network.
+
+    The hot path (:meth:`count_sent`, called on every delivered message)
+    touches exactly one dict record keyed ``(kind, src, dst)`` holding
+    ``[count, bytes, stamp_entries, stamp_entries_full]``.  Every
+    per-kind / per-node / per-pair view (`by_kind`, `bytes_by_pair`, ...)
+    is derived from those records on access — analysis-time cost for
+    send-time speed.
+    """
 
     def __init__(self) -> None:
         self.total = 0
         self.dropped = 0
-        self.by_kind: Counter = Counter()
-        self.by_sender: Counter = Counter()
-        self.by_receiver: Counter = Counter()
-        self.by_pair: Counter = Counter()
         self.total_latency = 0.0
+        # (kind, src, dst) -> [count, bytes, stamp_entries, entries_full]
+        self._edges: Dict[Tuple[str, int, int], List] = {}
 
     def record(self, record: MessageRecord) -> None:
         """Account for one message."""
         if record.dropped:
             self.dropped += 1
             return
-        self.count_sent(record.kind, record.src, record.dst, record.latency)
+        self.count_sent(
+            record.kind, record.src, record.dst, record.latency,
+            byte_size=record.byte_size, stamp_entries=record.stamp_entries,
+            stamp_entries_full=record.stamp_entries,
+        )
 
-    def count_sent(self, kind: str, src: int, dst: int, latency: float) -> None:
+    def count_sent(
+        self,
+        kind: str,
+        src: int,
+        dst: int,
+        latency: float,
+        byte_size: int = 0,
+        stamp_entries: int = 0,
+        stamp_entries_full: int = 0,
+    ) -> None:
         """Account for one delivered message without a MessageRecord.
 
         The network's hot path calls this directly so it does not have to
         materialise a record when tracing is disabled.
         """
         self.total += 1
-        self.by_kind[kind] += 1
-        self.by_sender[src] += 1
-        self.by_receiver[dst] += 1
-        self.by_pair[(src, dst)] += 1
         self.total_latency += latency
+        edge = self._edges.get((kind, src, dst))
+        if edge is None:
+            self._edges[(kind, src, dst)] = [
+                1, byte_size, stamp_entries, stamp_entries_full,
+            ]
+        else:
+            edge[0] += 1
+            edge[1] += byte_size
+            edge[2] += stamp_entries
+            edge[3] += stamp_entries_full
+
+    # -- derived views (analysis-time, not hot) ------------------------
+    def _sum_by(self, key_index: int, value_index: int) -> Counter:
+        out: Counter = Counter()
+        for key, edge in self._edges.items():
+            out[key[key_index]] += edge[value_index]
+        return out
+
+    @property
+    def by_kind(self) -> Counter:
+        """Delivered messages per kind."""
+        return self._sum_by(0, 0)
+
+    @property
+    def by_sender(self) -> Counter:
+        """Delivered messages per sending node."""
+        return self._sum_by(1, 0)
+
+    @property
+    def by_receiver(self) -> Counter:
+        """Delivered messages per receiving node."""
+        return self._sum_by(2, 0)
+
+    @property
+    def by_pair(self) -> Counter:
+        """Delivered messages per directed (src, dst) edge."""
+        out: Counter = Counter()
+        for (_, src, dst), edge in self._edges.items():
+            out[(src, dst)] += edge[0]
+        return out
+
+    @property
+    def bytes_total(self) -> int:
+        """Total wire bytes over all delivered messages."""
+        return sum(edge[1] for edge in self._edges.values())
+
+    @property
+    def bytes_by_kind(self) -> Counter:
+        """Wire bytes per message kind."""
+        return self._sum_by(0, 1)
+
+    @property
+    def bytes_by_pair(self) -> Counter:
+        """Wire bytes per directed (src, dst) edge."""
+        out: Counter = Counter()
+        for (_, src, dst), edge in self._edges.items():
+            out[(src, dst)] += edge[1]
+        return out
+
+    @property
+    def stamp_entries(self) -> int:
+        """Writestamp entries physically carried on the wire."""
+        return sum(edge[2] for edge in self._edges.values())
+
+    @property
+    def stamp_entries_full(self) -> int:
+        """Entries the same messages would carry with full stamps."""
+        return sum(edge[3] for edge in self._edges.values())
 
     @property
     def mean_latency(self) -> float:
         """Mean one-way delay over delivered messages (0 if none)."""
         return self.total_latency / self.total if self.total else 0.0
+
+    @property
+    def mean_bytes(self) -> float:
+        """Mean wire size over delivered messages (0 if none)."""
+        return self.bytes_total / self.total if self.total else 0.0
+
+    @property
+    def stamp_entries_saved(self) -> int:
+        """Writestamp entries elided by delta encoding."""
+        return self.stamp_entries_full - self.stamp_entries
+
+    def bytes_of(self, kind: Optional[str] = None) -> int:
+        """Bytes of ``kind`` (all kinds if None)."""
+        if kind is None:
+            return self.bytes_total
+        return self.bytes_by_kind.get(kind, 0)
 
     def snapshot(self, time: float) -> CounterSnapshot:
         """Copy the counters, tagged with the current simulated time."""
@@ -112,6 +227,8 @@ class NetworkStats:
             by_kind=dict(self.by_kind),
             by_sender=dict(self.by_sender),
             by_receiver=dict(self.by_receiver),
+            bytes_total=self.bytes_total,
+            stamp_entries=self.stamp_entries,
         )
 
     def count(self, kind: Optional[str] = None) -> int:

@@ -1,0 +1,190 @@
+"""Write-behind batching semantics and the 2n+6 regression bound."""
+
+import pytest
+
+from repro.apps.linear_solver import LinearSystem, SynchronousSolver
+from repro.errors import ProtocolError
+from repro.memory import Namespace
+from repro.protocols.base import DSMCluster
+
+
+def two_node_cluster(**kwargs):
+    namespace = Namespace.explicit(2, {"x": 0, "y": 1})
+    return DSMCluster(
+        2, protocol="causal", namespace=namespace, batching=True, **kwargs
+    )
+
+
+class TestBatchingSemantics:
+    def test_batched_writes_complete_immediately(self):
+        cluster = two_node_cluster()
+        times = []
+
+        def writer(api):
+            yield api.write("x", 1)
+            times.append(cluster.sim.now)
+            yield api.write("x", 2)
+            times.append(cluster.sim.now)
+
+        cluster.spawn(1, writer)
+        cluster.run()
+        assert times == [0.0, 0.0]  # no blocking round-trips
+
+    def test_read_your_writes(self):
+        cluster = two_node_cluster()
+        seen = []
+
+        def writer(api):
+            yield api.write("x", 1)
+            yield api.write("x", 2)
+            seen.append((yield api.read("x")))
+
+        cluster.spawn(1, writer)
+        cluster.run()
+        assert seen == [2]
+
+    def test_write_burst_coalesces_into_one_batch(self):
+        cluster = two_node_cluster()
+
+        def writer(api):
+            for i in range(6):
+                yield api.write("x", i)
+
+        cluster.spawn(1, writer)
+        cluster.run()
+        node = cluster.nodes[1]
+        assert node.wb_coalesced >= 1
+        assert node.wb_batches < 6
+        # Certified state converged to the last write.
+        assert cluster.nodes[0].store.get("x").value == 5
+
+    def test_multi_location_burst_stays_in_program_order(self):
+        """Coalescing must not reorder a run's surviving sub-writes:
+        the survivor of a coalesced location moves behind intermediate
+        writes to other locations (strictly increasing own components)."""
+        namespace = Namespace.explicit(2, {"a": 0, "b": 0})
+        cluster = DSMCluster(
+            2, protocol="causal", namespace=namespace, batching=True
+        )
+
+        def writer(api):
+            yield api.write("a", 1)
+            yield api.write("b", 2)
+            yield api.write("a", 3)  # coalesces with the first write
+
+        cluster.spawn(1, writer)
+        cluster.run()
+        owner = cluster.nodes[0]
+        a, b = owner.store.get("a"), owner.store.get("b")
+        assert (a.value, b.value) == (3, 2)
+        # a's surviving write (3rd, component 3) certified after b's (2nd).
+        assert a.stamp[1] == 3 and b.stamp[1] == 2
+
+    def test_dirty_lines_refuse_discard(self):
+        cluster = two_node_cluster()
+        outcomes = []
+
+        def writer(api):
+            yield api.write("x", 1)          # tentative, uncertified
+            outcomes.append(api.discard("x"))
+            outcomes.append((yield api.read("x")))
+
+        cluster.spawn(1, writer)
+        cluster.run()
+        assert outcomes == [False, 1]  # eviction refused; RYW preserved
+
+    def test_incoming_reads_deferred_while_uncertified(self):
+        cluster = two_node_cluster()
+        seen = []
+
+        def writer(api):
+            yield api.write("y", 7)   # local (owned): visible at once
+            yield api.write("x", 1)   # remote: uncertified for a while
+
+        def reader(api):
+            seen.append((yield api.read("y")))
+
+        cluster.spawn(1, writer)
+        cluster.spawn(0, reader)
+        cluster.run()
+        assert seen == [7]
+        assert cluster.nodes[1].wb_deferred_read_count >= 1
+
+    def test_batching_rejects_no_cache(self):
+        with pytest.raises(ProtocolError):
+            DSMCluster(2, protocol="causal", batching=True, no_cache=True)
+
+    def test_batching_rejects_unsafe_write_behind(self):
+        with pytest.raises(ProtocolError):
+            DSMCluster(
+                2, protocol="causal", batching=True, unsafe_write_behind=True
+            )
+
+    @pytest.mark.parametrize("protocol", ["atomic", "central", "li"])
+    def test_batching_limited_to_causal_protocols(self, protocol):
+        with pytest.raises(ProtocolError):
+            DSMCluster(2, protocol=protocol, batching=True)
+
+
+class TestBroadcastBatching:
+    def test_coalesced_window_converges(self):
+        cluster = DSMCluster(3, protocol="broadcast", batching=True)
+
+        def writer(api):
+            for i in range(5):
+                yield api.write("x", i)
+
+        cluster.spawn(0, writer)
+        cluster.run()
+        for node in cluster.nodes:
+            assert node.replica_value("x") == 4
+        sender = cluster.nodes[0]
+        assert sender.wb_coalesced >= 1
+        assert sender.wb_batches < 5
+        # Coalesced-away broadcasts never hit the wire: fewer CB frames
+        # than writes * (n - 1).
+        assert cluster.stats.total < 5 * 2
+
+    def test_interleaved_locations_all_delivered(self):
+        cluster = DSMCluster(2, protocol="broadcast", batching=True)
+
+        def writer(api):
+            yield api.write("x", 1)
+            yield api.write("y", 2)
+            yield api.write("x", 3)
+
+        cluster.spawn(0, writer)
+        cluster.run()
+        other = cluster.nodes[1]
+        assert other.replica_value("x") == 3
+        assert other.replica_value("y") == 2
+        assert other.held_back_count == 0
+
+
+class TestSolverMessageBound:
+    """Section 4.1's 2n+6 bound must survive the batched fast path."""
+
+    @pytest.mark.parametrize("batching,delta", [
+        (False, False), (True, False), (True, True),
+    ])
+    def test_steady_state_bound_holds(self, batching, delta):
+        n = 4
+        system = LinearSystem.random(n, seed=7)
+        solver = SynchronousSolver(
+            system,
+            protocol="causal",
+            iterations=6,
+            batching=batching,
+            delta_stamps=delta,
+        )
+        result = solver.run()
+        assert result.steady_messages_per_processor <= 2 * n + 6
+
+    def test_batching_does_not_change_convergence(self):
+        n = 4
+        system = LinearSystem.random(n, seed=7)
+        plain = SynchronousSolver(system, iterations=6).run()
+        fast = SynchronousSolver(
+            system, iterations=6, batching=True, delta_stamps=True
+        ).run()
+        assert fast.max_error == pytest.approx(plain.max_error)

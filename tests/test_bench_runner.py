@@ -91,6 +91,81 @@ def test_load_rejects_malformed_and_wrong_schema(tmp_path):
         BenchTrajectory.load(wrong)
 
 
+def test_smoke_suite_includes_bandwidth_section():
+    metrics = run_suite(node_counts=(2,), smoke=True)
+    bandwidth = metrics["bandwidth"]["n=2"]
+    for side in ("baseline", "fastpath"):
+        assert bandwidth[side]["bytes_per_op"] > 0
+        assert bandwidth[side]["stamp_entries_per_op"] > 0
+    assert "bytes_per_op_reduction" in bandwidth
+    assert "stamp_entries_per_op_reduction" in bandwidth
+    assert bandwidth["fastpath"]["batch_occupancy"] >= 1.0
+
+
+def _v2_file(path, labels):
+    trajectory = BenchTrajectory()
+    for label in labels:
+        trajectory.append(
+            BenchRecord(label, "t0", {"kernel": {"events_per_sec": 1.0}})
+        )
+    trajectory.save(path)
+    return path.read_text()
+
+
+def test_v1_files_load_unchanged(tmp_path):
+    legacy = tmp_path / "v1.json"
+    legacy.write_text(json.dumps({
+        "schema": 1,
+        "runs": [{
+            "label": "pr2", "timestamp": "t0", "smoke": False,
+            "metrics": {"kernel": {"events_per_sec": 5.0}},
+        }],
+    }))
+    trajectory = BenchTrajectory.load(legacy)
+    assert [r.label for r in trajectory.runs] == ["pr2"]
+    assert "bandwidth" not in trajectory.latest().metrics
+
+
+def test_truncated_file_rejected_then_repaired(tmp_path):
+    file = tmp_path / "trunc.json"
+    text = _v2_file(file, ["one", "two"])
+    # Kill the writer mid-flight: drop the tail of the second run object.
+    file.write_text(text[: int(len(text) * 0.7)])
+    with pytest.raises(ReproError, match="repair=True"):
+        BenchTrajectory.load(file)
+    salvaged = BenchTrajectory.load(file, repair=True)
+    assert [r.label for r in salvaged.runs] == ["one"]
+
+
+def test_concatenated_documents_rejected_then_merged(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    file = tmp_path / "both.json"
+    file.write_text(_v2_file(a, ["first"]) + _v2_file(b, ["second"]))
+    with pytest.raises(ReproError, match="concatenated"):
+        BenchTrajectory.load(file)
+    merged = BenchTrajectory.load(file, repair=True)
+    assert [r.label for r in merged.runs] == ["first", "second"]
+
+
+def test_repair_does_not_double_count_complete_documents(tmp_path):
+    """A complete document followed by a truncated one must yield the
+    complete document's runs exactly once plus the salvageable tail."""
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    whole = _v2_file(a, ["kept"])
+    tail = _v2_file(b, ["salvaged", "lost"])
+    file = tmp_path / "mixed.json"
+    file.write_text(whole + tail[: int(len(tail) * 0.7)])
+    repaired = BenchTrajectory.load(file, repair=True)
+    assert [r.label for r in repaired.runs] == ["kept", "salvaged"]
+
+
+def test_save_is_atomic_and_leaves_no_temp_file(tmp_path):
+    file = tmp_path / "out.json"
+    _v2_file(file, ["a"])
+    assert json.loads(file.read_text())["schema"] == SCHEMA_VERSION
+    assert list(tmp_path.iterdir()) == [file]
+
+
 def test_speedup_is_latest_over_first():
     trajectory = BenchTrajectory()
     trajectory.append(

@@ -1,0 +1,261 @@
+"""Lockstep properties: the wire fast path must be semantically invisible.
+
+Three claims, each checked across hypothesis-chosen workloads and seeds:
+
+1. The batched causal-owner protocol still implements causal memory
+   (Definition 2), with and without delta stamps.
+2. Delta stamp encoding is *transparent*: with the protocol
+   configuration held fixed, turning ``delta_stamps`` on changes nothing
+   observable — identical histories, identical message counts, identical
+   final stores — while carrying fewer writestamp entries.  This holds
+   under message drops too: a loss dirties the channel and the codec
+   falls back to full stamps, so reconstruction never diverges.
+3. On single-writer-per-location workloads the batched and unbatched
+   runs converge to the same authoritative (owner-side) state, and both
+   executions pass the causal checker.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import check_causal
+from repro.memory import Namespace
+from repro.protocols.base import DSMCluster
+
+COMMON = dict(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+workload_shapes = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(min_value=2, max_value=5),
+        "n_locations": st.integers(min_value=1, max_value=5),
+        "ops_per_proc": st.integers(min_value=1, max_value=20),
+        "read_fraction": st.floats(min_value=0.2, max_value=0.8),
+        "discard_fraction": st.floats(min_value=0.0, max_value=0.2),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# 1. Batching preserves causal memory
+# ----------------------------------------------------------------------
+@settings(**COMMON)
+@given(workload_shapes)
+def test_batched_causal_satisfies_definition_2(shape):
+    outcome = run_random_execution(
+        WorkloadConfig(protocol="causal", batching=True, **shape)
+    )
+    result = check_causal(outcome.history)
+    assert result.ok, result.explain()
+
+
+@settings(**COMMON)
+@given(workload_shapes)
+def test_batched_delta_causal_satisfies_definition_2(shape):
+    outcome = run_random_execution(
+        WorkloadConfig(
+            protocol="causal", batching=True, delta_stamps=True, **shape
+        )
+    )
+    result = check_causal(outcome.history)
+    assert result.ok, result.explain()
+
+
+# ----------------------------------------------------------------------
+# 2. Delta stamps are transparent
+# ----------------------------------------------------------------------
+@settings(**COMMON)
+@given(workload_shapes, st.booleans())
+def test_delta_stamps_are_history_transparent(shape, batching):
+    full = run_random_execution(
+        WorkloadConfig(protocol="causal", batching=batching, **shape)
+    )
+    delta = run_random_execution(
+        WorkloadConfig(
+            protocol="causal", batching=batching, delta_stamps=True, **shape
+        )
+    )
+    assert full.history.to_text() == delta.history.to_text()
+    assert full.total_messages == delta.total_messages
+    assert full.rejected_writes == delta.rejected_writes
+
+
+def _store_snapshot(cluster):
+    """Every node's entries as comparable plain data."""
+    return [
+        {
+            loc: (entry.value, entry.writer, entry.stamp.components)
+            for loc, entry in node.store._entries.items()
+        }
+        for node in cluster.nodes
+    ]
+
+
+def _run_causal_under_drops(n_nodes, ops, seed, *, delta_stamps):
+    """Batched causal run where drops can stall runs but never block.
+
+    Each process writes (remotely, via write-behind batches) to the
+    location owned by its right neighbour and reads only its own
+    location, which it owns — so reads are always local and a dropped
+    WriteBatch/reply stalls certification without deadlocking the app.
+    """
+    namespace = Namespace.explicit(
+        n_nodes, {f"w{p}": p for p in range(n_nodes)}
+    )
+    cluster = DSMCluster(
+        n_nodes,
+        protocol="causal",
+        seed=seed,
+        namespace=namespace,
+        batching=True,
+        delta_stamps=delta_stamps,
+        record_history=True,
+    )
+    cluster.network.set_drop_rate(0.25)
+
+    def process(api, me):
+        rng = cluster.sim.derived_rng(f"drops-{me}")
+        target = f"w{(me + 1) % n_nodes}"
+        for i in range(ops):
+            if rng.random() < 0.7:
+                yield api.write(target, f"n{me}v{i}")
+            else:
+                yield api.read(f"w{me}")
+
+    for proc in range(n_nodes):
+        cluster.spawn(proc, process, proc, name=f"drops-{proc}")
+    cluster.run(check_deadlock=False)
+    return cluster
+
+
+@settings(deadline=None, max_examples=15,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_delta_stamps_transparent_under_drops(n_nodes, ops, seed):
+    full = _run_causal_under_drops(n_nodes, ops, seed, delta_stamps=False)
+    delta = _run_causal_under_drops(n_nodes, ops, seed, delta_stamps=True)
+    assert _store_snapshot(full) == _store_snapshot(delta)
+    assert full.stats.total == delta.stats.total
+    assert full.stats.dropped == delta.stats.dropped
+    assert full.history().to_text() == delta.history().to_text()
+    # The delta side never carries more than the full side.
+    assert delta.stats.stamp_entries <= full.stats.stamp_entries
+    assert delta.stats.bytes_total <= full.stats.bytes_total
+
+
+def _run_broadcast(n_nodes, ops, seed, *, delta_stamps, drop_rate):
+    cluster = DSMCluster(
+        n_nodes,
+        protocol="broadcast",
+        seed=seed,
+        batching=True,
+        delta_stamps=delta_stamps,
+        record_history=True,
+    )
+    if drop_rate:
+        cluster.network.set_drop_rate(drop_rate)
+
+    def process(api, me):
+        rng = cluster.sim.derived_rng(f"bcast-{me}")
+        for i in range(ops):
+            location = f"loc{rng.randrange(3)}"
+            if rng.random() < 0.5:
+                yield api.write(location, f"n{me}v{i}")
+            else:
+                yield api.read(location)
+
+    for proc in range(n_nodes):
+        cluster.spawn(proc, process, proc, name=f"bcast-{proc}")
+    cluster.run(check_deadlock=False)
+    return cluster
+
+
+@settings(deadline=None, max_examples=15,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([0.0, 0.3]),
+)
+def test_delta_stamps_transparent_for_broadcast(n_nodes, ops, seed, drop_rate):
+    full = _run_broadcast(
+        n_nodes, ops, seed, delta_stamps=False, drop_rate=drop_rate
+    )
+    delta = _run_broadcast(
+        n_nodes, ops, seed, delta_stamps=True, drop_rate=drop_rate
+    )
+    assert [n._replica for n in full.nodes] == [n._replica for n in delta.nodes]
+    assert full.history().to_text() == delta.history().to_text()
+    assert delta.stats.stamp_entries <= full.stats.stamp_entries
+    assert delta.stats.bytes_total <= full.stats.bytes_total
+
+
+# ----------------------------------------------------------------------
+# 3. Batched and unbatched runs converge to the same state
+# ----------------------------------------------------------------------
+def _run_single_writer(n_nodes, ops, seed, *, batching, delta_stamps=False):
+    namespace = Namespace.explicit(
+        n_nodes, {f"w{p}": (p + 1) % n_nodes for p in range(n_nodes)}
+    )
+    cluster = DSMCluster(
+        n_nodes,
+        protocol="causal",
+        seed=seed,
+        namespace=namespace,
+        batching=batching,
+        delta_stamps=delta_stamps,
+        record_history=True,
+    )
+
+    def process(api, me):
+        rng = cluster.sim.derived_rng(f"sw-{me}")
+        for i in range(ops):
+            if rng.random() < 0.6:
+                yield api.write(f"w{me}", f"n{me}v{i}")
+            else:
+                yield api.read(f"w{rng.randrange(n_nodes)}")
+
+    for proc in range(n_nodes):
+        cluster.spawn(proc, process, proc, name=f"sw-{proc}")
+    cluster.run()
+    return cluster
+
+
+def _authoritative_state(cluster):
+    """Owner-side (value, writer) per location actually written."""
+    state = {}
+    for node in cluster.nodes:
+        for loc in node.store.owned_locations():
+            entry = node.store.get(loc)
+            state[loc] = (entry.value, entry.writer)
+    return state
+
+
+@settings(deadline=None, max_examples=15,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_batched_run_converges_to_unbatched_state(n_nodes, ops, seed):
+    plain = _run_single_writer(n_nodes, ops, seed, batching=False)
+    batched = _run_single_writer(
+        n_nodes, ops, seed, batching=True, delta_stamps=True
+    )
+    assert _authoritative_state(plain) == _authoritative_state(batched)
+    plain_verdict = check_causal(plain.history())
+    batched_verdict = check_causal(batched.history())
+    assert plain_verdict.ok and batched_verdict.ok
+    assert plain_verdict.ok == batched_verdict.ok
+    # Batching only removes messages, never adds them.
+    assert batched.stats.total <= plain.stats.total

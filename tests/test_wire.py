@@ -1,0 +1,299 @@
+"""Unit tests for the wire model: byte costs and the delta-stamp codec."""
+
+import pytest
+
+from repro.clocks import VectorClock
+from repro.protocols.messages import (
+    BroadcastWrite,
+    EntryPayload,
+    ReadReply,
+    ReadRequest,
+    WriteBatch,
+    WriteReply,
+    WriteRequest,
+)
+from repro.protocols.wire import (
+    HEADER_BYTES,
+    ID_BYTES,
+    WireCodec,
+    WireDesyncError,
+    location_bytes,
+    measure_message,
+    stamp_delta_bytes,
+    stamp_full_bytes,
+    value_bytes,
+)
+
+
+def vc(*components):
+    return VectorClock(components)
+
+
+class TestCostModel:
+    def test_write_request_cost_is_exact(self):
+        msg = WriteRequest(request_id=1, location="x", value=7, stamp=vc(1, 0, 0))
+        cost = measure_message(msg)
+        expected = (
+            HEADER_BYTES + ID_BYTES + location_bytes("x") + value_bytes(7)
+            + stamp_full_bytes(3)
+        )
+        assert cost.byte_size == expected
+        assert cost.stamp_entries == 3
+        assert cost.stamp_count == 1
+
+    def test_value_bytes_by_type(self):
+        assert value_bytes(None) == 1
+        assert value_bytes(True) == 1
+        assert value_bytes("abcd") == 6
+        assert value_bytes(3.25) == 8
+        assert value_bytes(10**9) == 8
+
+    def test_read_reply_counts_every_entry_stamp(self):
+        entries = tuple(
+            EntryPayload(location=f"l{i}", value=i, stamp=vc(i, 0), writer=0)
+            for i in range(3)
+        )
+        msg = ReadReply(request_id=2, location="l0", entries=entries, stamp=vc(3, 0))
+        cost = measure_message(msg)
+        assert cost.stamp_count == 4  # 3 entry stamps + the reply stamp
+        assert cost.stamp_entries == 8
+
+    def test_stampless_message_has_no_entries(self):
+        cost = measure_message(ReadRequest(request_id=1, location="x", unit="x"))
+        assert cost.stamp_entries == 0
+        assert cost.byte_size > HEADER_BYTES
+
+    def test_unknown_message_gets_generic_cost(self):
+        class Strange:
+            kind = "STRANGE"
+
+            def __init__(self):
+                self.field = 42
+
+        cost = measure_message(Strange())
+        assert cost.byte_size >= HEADER_BYTES
+
+    def test_delta_entry_costs_more_than_full_entry(self):
+        # The delta must name its index, so near-total change flips to full.
+        assert stamp_delta_bytes(3) > stamp_full_bytes(3)
+        assert stamp_delta_bytes(1) < stamp_full_bytes(8)
+
+    def test_fast_cost_agrees_with_measure_for_every_type(self):
+        """The network's allocation-free fast path must match the
+        authoritative body/stamps walk on every registered message type
+        (including the optional-field variants and a generic double)."""
+        from repro.protocols import messages as m
+        from repro.protocols.wire import fast_cost
+
+        entry = EntryPayload(location="ent", value="sv", stamp=vc(1, 2), writer=1)
+        sub_reply = m.BatchedWriteReply(
+            location="bat", stamp=vc(3, 1), applied=True, current=None
+        )
+        sub_rejected = m.BatchedWriteReply(
+            location="rej", stamp=vc(3, 2), applied=False, current=entry
+        )
+
+        class Strange:
+            kind = "STRANGE"
+
+            def __init__(self):
+                self.field = 42
+
+        samples = [
+            m.ReadRequest(request_id=1, location="loc", unit="unit0"),
+            m.ReadReply(
+                request_id=2, location="loc",
+                entries=(entry, entry), stamp=vc(2, 2),
+            ),
+            m.ReadReply(request_id=2, location="loc", entries=(), stamp=vc(2, 2)),
+            m.WriteRequest(request_id=3, location="loc", value=None, stamp=vc(0, 1)),
+            m.WriteReply(
+                request_id=4, location="loc", value=7, stamp=vc(1, 1),
+                applied=True, current=None,
+            ),
+            m.WriteReply(
+                request_id=4, location="loc", value="s", stamp=vc(1, 1),
+                applied=False, current=entry,
+            ),
+            m.WriteBatch(request_id=5, writes=(
+                m.WriteRequest(request_id=5, location="a", value=1, stamp=vc(0, 1)),
+                m.WriteRequest(request_id=5, location="bb", value="x", stamp=vc(0, 2)),
+            )),
+            m.WriteBatch(request_id=5, writes=()),
+            m.WriteBatchReply(
+                request_id=6, replies=(sub_reply, sub_rejected), stamp=vc(4, 2),
+            ),
+            m.AtomicReadRequest(request_id=7, location="loc"),
+            m.AtomicReadReply(
+                request_id=8, location="loc", value=9, stamp=vc(1, 0), writer=0,
+            ),
+            m.AtomicWriteRequest(request_id=9, location="loc", value=True, seq=1),
+            m.AtomicWriteReply(request_id=10, location="loc", value=9),
+            m.Invalidate(request_id=11, location="loc"),
+            m.InvalidateAck(request_id=12, location="loc"),
+            m.CentralRead(request_id=13, location="loc"),
+            m.CentralWrite(request_id=14, location="loc", value=9, seq=2),
+            m.CentralReply(
+                request_id=15, location="loc", value=9, stamp=vc(0, 3), writer=1,
+            ),
+            BroadcastWrite(sender=0, seq=1, location="loc", value=9, stamp=vc(1, 0)),
+            m.BroadcastBatch(sender=0, writes=(
+                BroadcastWrite(sender=0, seq=1, location="a", value=1, stamp=vc(1, 0)),
+                BroadcastWrite(sender=0, seq=3, location="bb", value="y", stamp=vc(3, 0)),
+            )),
+            m.BroadcastBatch(sender=0, writes=()),
+            Strange(),
+        ]
+        for msg in samples:
+            measured = measure_message(msg)
+            assert fast_cost(msg) == (
+                measured.byte_size, measured.stamp_entries,
+            ), type(msg).__name__
+
+
+class TestCodecRoundTrip:
+    def roundtrip(self, codec, src, dst, msg):
+        frame = codec.encode(src, dst, msg)
+        return frame, codec.decode(src, dst, frame)
+
+    def test_first_message_full_then_delta(self):
+        codec = WireCodec()
+        m1 = WriteRequest(request_id=1, location="x", value=1,
+                          stamp=vc(1, 0, 0, 0, 0, 0, 0, 0))
+        m2 = WriteRequest(request_id=2, location="x", value=2,
+                          stamp=vc(2, 0, 0, 0, 0, 0, 0, 0))
+        f1, d1 = self.roundtrip(codec, 0, 1, m1)
+        f2, d2 = self.roundtrip(codec, 0, 1, m2)
+        assert d1 == m1 and d2 == m2
+        assert f1.stamp_entries == 8      # first message: full stamp
+        assert f2.stamp_entries == 1      # one changed component
+        assert f2.byte_size < f1.byte_size
+        assert codec.entries_saved == 7
+
+    def test_unchanged_stamp_costs_zero_entries(self):
+        codec = WireCodec()
+        stamp = vc(3, 1, 4, 1)
+        m = WriteRequest(request_id=1, location="x", value=0, stamp=stamp)
+        self.roundtrip(codec, 0, 1, m)
+        frame, decoded = self.roundtrip(
+            codec, 0, 1, WriteRequest(request_id=2, location="x", value=1,
+                                      stamp=stamp)
+        )
+        assert frame.stamp_entries == 0
+        assert decoded.stamp == stamp
+
+    def test_multi_stamp_message_uses_running_basis(self):
+        codec = WireCodec()
+        entries = (
+            EntryPayload(location="a", value=1, stamp=vc(1, 0, 0, 0), writer=0),
+            EntryPayload(location="b", value=2, stamp=vc(1, 2, 0, 0), writer=1),
+        )
+        msg = ReadReply(request_id=1, location="a", entries=entries,
+                        stamp=vc(1, 2, 0, 0))
+        frame, decoded = self.roundtrip(codec, 2, 3, msg)
+        assert decoded == msg
+        # First stamp full (4 entries); second differs from the first in
+        # one component; third is identical to the second.
+        assert frame.stamp_entries == 5
+
+    def test_channels_are_independent(self):
+        codec = WireCodec()
+        m = WriteRequest(request_id=1, location="x", value=1, stamp=vc(1, 0))
+        f01, _ = self.roundtrip(codec, 0, 1, m)
+        f02, _ = self.roundtrip(codec, 0, 2, m)
+        assert f01.stamp_entries == 2
+        assert f02.stamp_entries == 2  # fresh channel: full again
+
+    def test_dirty_channel_falls_back_to_full(self):
+        codec = WireCodec()
+        m1 = WriteRequest(request_id=1, location="x", value=1, stamp=vc(1, 0, 0))
+        m2 = WriteRequest(request_id=2, location="x", value=2, stamp=vc(2, 0, 0))
+        self.roundtrip(codec, 0, 1, m1)
+        codec.mark_dirty(0, 1)
+        frame, decoded = self.roundtrip(codec, 0, 1, m2)
+        assert frame.stamp_entries == 3  # full fallback
+        assert decoded == m2
+
+    def test_mark_node_dirty_touches_all_channels(self):
+        codec = WireCodec()
+        m = WriteRequest(request_id=1, location="x", value=1, stamp=vc(1, 0))
+        self.roundtrip(codec, 0, 1, m)
+        self.roundtrip(codec, 2, 1, m)
+        codec.mark_node_dirty(1)
+        f1, _ = self.roundtrip(
+            codec, 0, 1, WriteRequest(request_id=2, location="x", value=2,
+                                      stamp=vc(2, 0)))
+        f2, _ = self.roundtrip(
+            codec, 2, 1, WriteRequest(request_id=2, location="x", value=2,
+                                      stamp=vc(2, 0)))
+        assert f1.stamp_entries == 2 and f2.stamp_entries == 2
+
+    def test_lost_frame_with_delta_raises_desync(self):
+        codec = WireCodec()
+        msgs = [
+            WriteRequest(request_id=i, location="x", value=i,
+                         stamp=vc(i, 0, 0))
+            for i in range(1, 4)
+        ]
+        f1 = codec.encode(0, 1, msgs[0])
+        f2 = codec.encode(0, 1, msgs[1])  # delta over f1's basis
+        codec.decode(0, 1, f1)
+        # f2 never delivered (delivery-time loss); f3 is a delta too.
+        f3 = codec.encode(0, 1, msgs[2])
+        with pytest.raises(WireDesyncError):
+            codec.decode(0, 1, f3)
+
+    def test_full_stamp_resyncs_after_gap(self):
+        codec = WireCodec()
+        m1 = WriteRequest(request_id=1, location="x", value=1, stamp=vc(1, 0))
+        m2 = WriteRequest(request_id=2, location="x", value=2, stamp=vc(2, 0))
+        f1 = codec.encode(0, 1, m1)
+        # f1 lost at delivery time; the network tells the codec.
+        codec.mark_dirty(0, 1)
+        f2 = codec.encode(0, 1, m2)   # full again
+        decoded = codec.decode(0, 1, f2)  # seq gap, but full stamp resyncs
+        assert decoded == m2
+
+    def test_decoding_a_raw_template_is_an_error(self):
+        import dataclasses
+
+        from repro.protocols.wire import WireError
+
+        codec = WireCodec()
+        m = WriteRequest(request_id=1, location="x", value=1, stamp=vc(1, 0))
+        frame = codec.encode(0, 1, m)
+        # A frame whose template carries raw (already-rebuilt) clocks means
+        # someone is decoding decoded output; the codec must refuse.
+        bogus = dataclasses.replace(frame, template=m)
+        with pytest.raises(WireError):
+            codec.decode(0, 1, bogus)
+
+    def test_batch_and_reply_round_trip(self):
+        codec = WireCodec()
+        writes = tuple(
+            WriteRequest(request_id=9, location=f"l{i}", value=i,
+                         stamp=vc(i + 1, 0, 0, 0))
+            for i in range(3)
+        )
+        batch = WriteBatch(request_id=9, writes=writes)
+        frame, decoded = self.roundtrip(codec, 0, 1, batch)
+        assert decoded == batch
+        # First stamp full, then one changed component per sub-write.
+        assert frame.stamp_entries == 4 + 2
+
+    def test_write_reply_with_current_round_trips(self):
+        codec = WireCodec()
+        msg = WriteReply(
+            request_id=1, location="x", value=5, stamp=vc(2, 3),
+            applied=False,
+            current=EntryPayload(location="x", value=9, stamp=vc(0, 3), writer=1),
+        )
+        _, decoded = self.roundtrip(codec, 1, 0, msg)
+        assert decoded == msg
+
+    def test_broadcast_write_round_trips(self):
+        codec = WireCodec()
+        msg = BroadcastWrite(sender=0, seq=1, location="x", value=1,
+                             stamp=vc(1, 0, 0))
+        _, decoded = self.roundtrip(codec, 0, 1, msg)
+        assert decoded == msg
