@@ -12,7 +12,11 @@ numbers to a persistent JSON trajectory (``BENCH_substrate.json``, see
   skipped by the watermark) pulled from every node's
   :class:`~repro.memory.local_store.LocalStore`;
 * **checker** — Definition 2 verification throughput of
-  :func:`~repro.checker.check_causal` over recorded random executions;
+  :func:`~repro.checker.check_causal` over recorded random executions,
+  plus a ``memo`` A/B: the memoised checker
+  (:class:`~repro.checker.CachedCausalChecker`) against the unmemoised
+  one over an explorer-style corpus of random-schedule histories,
+  asserting verdict equality and reporting the speedup and hit rates;
 * **bandwidth** — an A/B of the wire-level fast path (schema v2): the
   same mixed workload run on the baseline causal protocol and on the
   batched + delta-stamp configuration, reporting bytes/op, writestamp
@@ -237,6 +241,64 @@ def bench_checker(n_nodes: int, ops_per_proc: int, repeats: int) -> Dict[str, An
     return {"ops": total_ops, "ops_per_sec": total_ops / elapsed}
 
 
+def bench_checker_memo(schedules: int, repeats: int) -> Dict[str, Any]:
+    """A/B the memoised causal checker on explorer-style history corpora.
+
+    The corpus is what :mod:`repro.mc` actually produces: many random
+    schedules of one small program, most of which record one of a
+    handful of distinct histories.  The baseline re-checks every history
+    from scratch; the cached side runs one
+    :class:`~repro.checker.CachedCausalChecker` across the corpus
+    (history-table hits for dominated schedules, shared live-set cache
+    for the rest).  Verdict equality is asserted as part of the run.
+    """
+    import random as random_module
+
+    from repro.checker import CachedCausalChecker, check_causal
+    from repro.mc import ControlledRun, preset
+
+    spec = preset("exhaustive")
+    histories = []
+    for index in range(schedules):
+        rng = random_module.Random(f"bench-memo/{index}")
+        run_state = ControlledRun(spec)
+        while run_state.crashed is None:
+            actions = run_state.actions()
+            if not actions:
+                break
+            run_state.apply(actions[rng.randrange(len(actions))])
+        histories.append(run_state.outcome().history)
+    total_ops = sum(len(history) for history in histories)
+
+    def run_uncached() -> None:
+        for history in histories:
+            check_causal(history)
+
+    def run_cached() -> None:
+        checker = CachedCausalChecker()
+        for history in histories:
+            checker.check(history)
+
+    uncached = _best_of(run_uncached, repeats)
+    cached = _best_of(run_cached, repeats)
+
+    checker = CachedCausalChecker()
+    verdicts_equal = all(
+        check_causal(history).ok == checker.check(history).ok
+        for history in histories
+    )
+    return {
+        "histories": len(histories),
+        "ops": total_ops,
+        "uncached_ops_per_sec": total_ops / uncached,
+        "cached_ops_per_sec": total_ops / cached,
+        "speedup": uncached / cached if cached else 0.0,
+        "history_hit_rate": checker.history_hit_rate,
+        "live_hit_rate": checker.live_cache.hit_rate,
+        "verdicts_equal": verdicts_equal,
+    }
+
+
 # ----------------------------------------------------------------------
 # The suite
 # ----------------------------------------------------------------------
@@ -272,6 +334,9 @@ def run_suite(
     for n in node_counts:
         say(f"checker: n={n}, {checker_ops} ops/proc x{repeats}")
         metrics["checker"][f"n={n}"] = bench_checker(n, checker_ops, repeats)
+    memo_schedules = 200 if smoke else 5000
+    say(f"checker memo A/B: {memo_schedules} schedules x{repeats}")
+    metrics["checker"]["memo"] = bench_checker_memo(memo_schedules, repeats)
     for n in node_counts:
         say(f"bandwidth A/B: n={n}, {protocol_ops} ops/proc x{repeats}")
         metrics["bandwidth"][f"n={n}"] = bench_bandwidth(n, protocol_ops, repeats)
@@ -284,6 +349,8 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
     ]
     for group in ("protocol", "checker"):
         for key, data in metrics[group].items():
+            if key == "memo":
+                continue
             extra = ""
             if "sweeps_performed" in data:
                 extra = (
@@ -294,6 +361,16 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
             lines.append(
                 f"{group} {key:<8} {data['ops_per_sec']:>12,.0f} ops/s{extra}"
             )
+    memo = metrics.get("checker", {}).get("memo")
+    if memo:
+        equal = "verdicts equal" if memo["verdicts_equal"] else "VERDICT DRIFT"
+        lines.append(
+            f"checker memo     {memo['uncached_ops_per_sec']:>12,.0f} -> "
+            f"{memo['cached_ops_per_sec']:,.0f} ops/s "
+            f"(x{memo['speedup']:.1f}, hist hit {memo['history_hit_rate']:.0%}, "
+            f"live hit {memo['live_hit_rate']:.0%}, "
+            f"{memo['histories']} histories, {equal})"
+        )
     for key, data in metrics.get("bandwidth", {}).items():
         base, fast = data["baseline"], data["fastpath"]
         lines.append(

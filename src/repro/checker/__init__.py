@@ -22,8 +22,18 @@ from repro.checker.history import (
     initial_write_id,
 )
 from repro.checker.causality import CausalOrder, CausalityCycleError
-from repro.checker.live_values import live_set, live_values
-from repro.checker.causal_checker import CausalCheckResult, check_causal
+from repro.checker.live_values import (
+    LiveSetCache,
+    live_set,
+    live_values,
+    read_fingerprint,
+)
+from repro.checker.causal_checker import (
+    CachedCausalChecker,
+    CausalCheckResult,
+    check_causal,
+    history_fingerprint,
+)
 from repro.checker.sequential_checker import (
     SequentialCheckResult,
     check_sequential,
@@ -44,8 +54,12 @@ __all__ = [
     "CausalityCycleError",
     "live_set",
     "live_values",
+    "read_fingerprint",
+    "LiveSetCache",
     "check_causal",
     "CausalCheckResult",
+    "CachedCausalChecker",
+    "history_fingerprint",
     "check_sequential",
     "SequentialCheckResult",
     "check_pram",

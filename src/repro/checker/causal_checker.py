@@ -9,6 +9,17 @@ of violations (reads whose write source is not live for them).  A cyclic
 causality relation — a read reading from a causally later write — is
 reported as a violation rather than an exception, so random-workload
 property tests can treat "not causal" uniformly.
+
+Two memoisation layers serve callers that check *many* histories (the
+:mod:`repro.mc` schedule explorer, the benchmark runner):
+
+* passing a :class:`~repro.checker.live_values.LiveSetCache` to
+  :func:`check_causal` memoises per-read live sets under their
+  causal-past fingerprints, shared across histories;
+* :class:`CachedCausalChecker` additionally memoises whole verdicts
+  keyed on the history's operation content, so a dominated schedule —
+  a different interleaving that recorded the *same* history — is checked
+  in O(1) without even rebuilding the causality relation.
 """
 
 from __future__ import annotations
@@ -18,9 +29,15 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.checker.causality import CausalityCycleError, CausalOrder
 from repro.checker.history import History, Operation
-from repro.checker.live_values import live_set
+from repro.checker.live_values import LiveSetCache, live_set
 
-__all__ = ["CausalCheckResult", "ReadVerdict", "check_causal"]
+__all__ = [
+    "CausalCheckResult",
+    "ReadVerdict",
+    "check_causal",
+    "CachedCausalChecker",
+    "history_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -81,8 +98,14 @@ class CausalCheckResult:
         return "\n".join(lines + [summary])
 
 
-def check_causal(history: History) -> CausalCheckResult:
+def check_causal(
+    history: History, cache: Optional[LiveSetCache] = None
+) -> CausalCheckResult:
     """Check Definition 2: every read returns a live value.
+
+    ``cache`` (optional) memoises per-read live sets under causal-past
+    fingerprints; share one cache across calls when checking many
+    related histories.  Verdicts are identical with or without it.
 
     Examples
     --------
@@ -101,10 +124,63 @@ def check_causal(history: History) -> CausalCheckResult:
 
     verdicts: List[ReadVerdict] = []
     for read in history.reads():
-        live = live_set(history, order, read)
+        live = live_set(history, order, read, cache)
         live_ids = {write.write_id for write in live}
         ok = read.read_from in live_ids
         verdicts.append(
             ReadVerdict(read=read, live_writes=tuple(live), ok=ok)
         )
     return CausalCheckResult(ok=all(v.ok for v in verdicts), verdicts=verdicts)
+
+
+def history_fingerprint(history: History) -> Tuple:
+    """A hashable identity of a history's operation content.
+
+    Two histories with equal fingerprints contain (dataclass-)equal
+    operations — same processes, kinds, locations, values and
+    reads-from/write identities — so every checker verdict coincides.
+    Schedules the explorer calls *dominated* (different interleavings
+    recording the same execution) collide here by construction.
+    """
+    return tuple(
+        tuple(
+            (op.kind, op.location, op.value, op.write_id, op.read_from)
+            for op in ops
+        )
+        for ops in history.processes
+    )
+
+
+class CachedCausalChecker:
+    """Definition 2 checking with whole-history memoisation.
+
+    Wraps :func:`check_causal` with two cache layers: an exact-history
+    table (dominated schedules are O(1) — not even the causality
+    relation is rebuilt) and a shared :class:`LiveSetCache` for the
+    misses (reads whose causal past already appeared in *another*
+    history are served from their fingerprints).
+    """
+
+    def __init__(self) -> None:
+        self.live_cache = LiveSetCache()
+        self.history_hits = 0
+        self.history_misses = 0
+        self._results: Dict[Tuple, CausalCheckResult] = {}
+
+    def check(self, history: History) -> CausalCheckResult:
+        """Check ``history``, reusing any memoised verdict."""
+        key = history_fingerprint(history)
+        result = self._results.get(key)
+        if result is not None:
+            self.history_hits += 1
+            return result
+        self.history_misses += 1
+        result = check_causal(history, cache=self.live_cache)
+        self._results[key] = result
+        return result
+
+    @property
+    def history_hit_rate(self) -> float:
+        """Fraction of checks answered from the history table."""
+        total = self.history_hits + self.history_misses
+        return self.history_hits / total if total else 0.0

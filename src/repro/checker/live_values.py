@@ -21,31 +21,150 @@ intervening op carrying a different value" are all mask intersections.
 This replaces the previous per-pair ``precedes`` loops, which made the
 causal checker quadratic in the number of same-location operations per
 candidate and dominated property-test time.
+
+Memoisation (the ROADMAP "checker search pruning" item): the live set of
+a read is fully determined by its *causal-past fingerprint* — the read's
+identity, the reads-from assignments of every read in its causal past
+(with the read's own rf edge excluded), the same-location operations
+that reach it, the candidate-write layout, and which candidates causally
+follow it.  Program order contributes nothing extra: it is derivable
+from the operation ids in the fingerprint, and every causal path into
+the past runs entirely through past operations, whose rf edges the
+fingerprint pins down.  A :class:`LiveSetCache` keyed on that
+fingerprint therefore serves reads of *different* histories — exactly
+the situation the :mod:`repro.mc` schedule explorer creates, where
+thousands of dominated schedules re-derive the same causal pasts — with
+a guaranteed-identical result.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.checker.causality import CausalOrder
 from repro.checker.history import History, Operation
 from repro.errors import CheckError
 
-__all__ = ["live_set", "live_values"]
+__all__ = ["live_set", "live_values", "read_fingerprint", "LiveSetCache"]
+
+
+class LiveSetCache:
+    """Memoises live-set computation across reads *and histories*.
+
+    The key is :func:`read_fingerprint`; the value is the tuple of
+    positions (into the read's candidate-write list) that are live.
+    Positions, not operations, so a hit from one history can be replayed
+    onto the equal-shaped candidates of another.
+
+    Share one instance across many :func:`check_causal` calls (the
+    explorer and the benchmark runner do); verdicts are unchanged — see
+    ``test_checker_memo.py``, which pins cached == uncached over
+    thousands of generated histories.
+    """
+
+    __slots__ = ("hits", "misses", "_table")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._table: Dict[Tuple, Tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the table."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all memoised entries (counters are kept)."""
+        self._table.clear()
+
+
+def read_fingerprint(
+    history: History, order: CausalOrder, read: Operation
+) -> Tuple:
+    """The causal-past fingerprint that determines ``read``'s live set.
+
+    Two reads (in the same history or different ones) with equal
+    fingerprints have equal live sets *as candidate positions*.  The
+    components, and why they suffice:
+
+    * the read's id, location and source — identifies the operation and
+      its rf edge (which Definition 1 excludes);
+    * ``past_reads`` — every read (any location) reaching this one with
+      its rf edge excluded, with its rf assignment.  All causal paths
+      between past operations run through past operations, and every
+      non-program-order edge on such a path is the rf edge of a past
+      read, so this pins the entire causal relation over the past
+      (program-order edges are derivable from the operation ids);
+    * ``past_loc`` — the same-location operations serving notice
+      (condition 2's candidates), with the write each one carries;
+    * ``candidates`` — the candidate-write layout (positions matter);
+    * ``follows`` — candidates causally *after* the read, which are
+      excluded from the live set but whose ordering paths may run
+      through non-past operations, so they cannot be derived from the
+      past components.
+    """
+    j = order.index_of(read)
+    pred_mask = order.non_rf_pred_mask(j)
+    desc_of_read = order.descendant_mask(j)
+    past_reads: List[Tuple] = []
+    for op in history.reads():
+        k = order.index_of(op)
+        if k != j and (order.descendant_mask(k) | (1 << k)) & pred_mask:
+            past_reads.append((op.proc, op.index, op.read_from))
+    loc = order.location_ops(read.location)
+    past_loc: List[Tuple] = []
+    for k in loc.indices:
+        if k == j:
+            continue
+        if (order.descendant_mask(k) | (1 << k)) & pred_mask:
+            op = order.ops[k]
+            source = op.write_id if op.is_write else op.read_from
+            past_loc.append((op.proc, op.index, source))
+    candidates = history.writes(location=read.location, include_init=True)
+    follows = tuple(
+        write.write_id
+        for write in candidates
+        if (desc_of_read >> order.index_of(write)) & 1
+    )
+    return (
+        read.op_id,
+        read.location,
+        read.read_from,
+        tuple(past_reads),
+        tuple(past_loc),
+        tuple(write.write_id for write in candidates),
+        follows,
+    )
 
 
 def live_set(
     history: History,
     order: CausalOrder,
     read: Operation,
+    cache: Optional[LiveSetCache] = None,
 ) -> List[Operation]:
     """The writes whose values are live for ``read`` (``alpha(o)`` as ops).
 
     Returns write operations rather than raw values so callers can
-    distinguish distinct writes of equal values.
+    distinguish distinct writes of equal values.  With ``cache``, the
+    result is memoised under the read's causal-past fingerprint.
     """
     if not read.is_read:
         raise CheckError(f"live_set called on non-read {read}")
+    candidates = history.writes(location=read.location, include_init=True)
+    key: Optional[Tuple] = None
+    if cache is not None:
+        key = read_fingerprint(history, order, read)
+        positions = cache._table.get(key)
+        if positions is not None:
+            cache.hits += 1
+            return [candidates[p] for p in positions]
+        cache.misses += 1
     j = order.index_of(read)
     pred_mask = order.non_rf_pred_mask(j)
     loc = order.location_ops(read.location)
@@ -59,9 +178,9 @@ def live_set(
         if (order.descendant_mask(k) | (1 << k)) & pred_mask:
             reaching |= 1 << k
     desc_of_read = order.descendant_mask(j)
-    candidates = history.writes(location=read.location, include_init=True)
     live: List[Operation] = []
-    for write in candidates:
+    live_positions: List[int] = []
+    for position, write in enumerate(candidates):
         i = order.index_of(write)
         # Writes that causally follow the read are never live.
         if (desc_of_read >> i) & 1:
@@ -70,6 +189,7 @@ def live_set(
         if not ((desc_of_write | (1 << i)) & pred_mask):
             # Not following, not preceding (rf edge excluded): concurrent.
             live.append(write)
+            live_positions.append(position)
             continue
         # Condition 2: an intervening same-location op between `write` and
         # `read` serves notice unless it carries `write`'s own value.
@@ -77,6 +197,9 @@ def live_set(
         if desc_of_write & reaching & ~same_source & ~read_bit:
             continue
         live.append(write)
+        live_positions.append(position)
+    if cache is not None and key is not None:
+        cache._table[key] = tuple(live_positions)
     return live
 
 
@@ -84,6 +207,7 @@ def live_values(
     history: History,
     order: CausalOrder,
     read: Operation,
+    cache: Optional[LiveSetCache] = None,
 ) -> Set[Any]:
     """``alpha(o)`` as a set of values (the form the paper's examples use)."""
-    return {write.value for write in live_set(history, order, read)}
+    return {write.value for write in live_set(history, order, read, cache)}

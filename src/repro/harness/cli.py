@@ -36,6 +36,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser(
+        "explore",
+        help="explore protocol schedule spaces (forwards to repro.mc)",
+        add_help=False,
+    )
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument(
         "--save",
@@ -77,6 +82,14 @@ def _run_one(name: str, store=None) -> bool:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explore":
+        # Forwarded verbatim: repro.mc owns the flag set, and argparse's
+        # REMAINDER cannot pass through leading `--options` faithfully.
+        from repro.mc.__main__ import main as mc_main
+
+        return mc_main(["explore", *argv[1:]])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

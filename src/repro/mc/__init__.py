@@ -1,0 +1,67 @@
+"""Schedule exploration (model checking) for the DSM protocols.
+
+The simulator runs one interleaving per seed; this package runs *all* of
+them (bounded): small straight-line programs are executed under every
+message-delivery interleaving a reliable FIFO network permits —
+systematically (DFS with dominance pruning) or randomly (seeded uniform
+and PCT-style priority schedules) — and every leaf's recorded history is
+validated against the consistency model its protocol promises.
+Violations are shrunk to minimal programs and serialised as replayable
+JSON counterexamples.
+
+Entry points: :func:`explore` in Python, ``python -m repro.mc`` on the
+command line (also reachable as ``python -m repro.harness.cli explore``).
+"""
+
+from repro.mc.counterexample import Counterexample, ReplayMismatch, replay
+from repro.mc.explore import (
+    ALL_MODELS,
+    EXPECTED_MODEL,
+    CheckerZoo,
+    ExplorationResult,
+    ExploreConfig,
+    evaluate_outcome,
+    explore,
+)
+from repro.mc.program import (
+    McError,
+    PRESETS,
+    ProgramSpec,
+    make_spec,
+    preset,
+    random_program,
+)
+from repro.mc.scheduler import (
+    Action,
+    ControlledRun,
+    RunOutcome,
+    replay_trace,
+    run_controlled,
+)
+from repro.mc.shrink import find_violation, shrink
+
+__all__ = [
+    "Action",
+    "ALL_MODELS",
+    "CheckerZoo",
+    "ControlledRun",
+    "Counterexample",
+    "EXPECTED_MODEL",
+    "ExplorationResult",
+    "ExploreConfig",
+    "McError",
+    "PRESETS",
+    "ProgramSpec",
+    "ReplayMismatch",
+    "RunOutcome",
+    "evaluate_outcome",
+    "explore",
+    "find_violation",
+    "make_spec",
+    "preset",
+    "random_program",
+    "replay",
+    "replay_trace",
+    "run_controlled",
+    "shrink",
+]

@@ -1,0 +1,261 @@
+"""Straight-line DSM programs — the inputs of schedule exploration.
+
+The explorer runs *programs*, not histories: a :class:`ProgramSpec` is a
+small fixed set of per-process operation lists (reads, writes, discards)
+that gets executed under every message-delivery interleaving the
+explorer selects.  Each execution records a history, and the checker zoo
+decides whether that history matches the protocol's promised model.
+
+Programs are deliberately tiny — schedule spaces grow factorially — and
+deliberately *value-transparent*: every write carries a distinct value,
+so the recorded reads-from relation identifies writes unambiguously
+(the same trick :mod:`repro.checker.generator` uses).
+
+Specs are frozen and JSON-serialisable so a shrunk counterexample can
+embed the exact program it falsifies (see :mod:`repro.mc.counterexample`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "McError",
+    "Op",
+    "ProgramSpec",
+    "make_spec",
+    "random_program",
+    "preset",
+    "PRESETS",
+]
+
+#: ("w", location, value) | ("r", location) | ("d", location)
+Op = Tuple
+
+
+class McError(ReproError):
+    """The schedule explorer was misused or reached an impossible state."""
+
+
+_PROTOCOLS = ("causal", "atomic", "li", "central", "broadcast")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """One explorable program: a protocol plus per-process op lists.
+
+    ``owners`` optionally pins location ownership (as a sorted tuple of
+    ``(location, node)`` pairs, keeping the spec hashable); unlisted
+    locations fall back to the default hashed namespace.
+    """
+
+    processes: Tuple[Tuple[Op, ...], ...]
+    protocol: str = "causal"
+    owners: Optional[Tuple[Tuple[str, int], ...]] = None
+    initial_value: Any = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in _PROTOCOLS:
+            raise McError(f"unknown protocol {self.protocol!r}")
+        if not self.processes:
+            raise McError("a program needs at least one process")
+        for ops in self.processes:
+            for op in ops:
+                if op[0] == "w" and len(op) == 3:
+                    continue
+                if op[0] in ("r", "d") and len(op) == 2:
+                    continue
+                raise McError(f"malformed op {op!r}")
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.processes)
+
+    @property
+    def n_ops(self) -> int:
+        """Total application operations (the shrinker minimises this)."""
+        return sum(len(ops) for ops in self.processes)
+
+    @property
+    def locations(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for ops in self.processes:
+            for op in ops:
+                if op[1] not in seen:
+                    seen.append(op[1])
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """Paper-style notation, one line per process."""
+        lines = []
+        for proc, ops in enumerate(self.processes):
+            tokens = []
+            for op in ops:
+                if op[0] == "w":
+                    tokens.append(f"w({op[1]}){op[2]}")
+                elif op[0] == "r":
+                    tokens.append(f"r({op[1]})")
+                else:
+                    tokens.append(f"d({op[1]})")
+            lines.append(f"P{proc}: " + " ".join(tokens))
+        return "\n".join(lines)
+
+    def without_op(self, proc: int, index: int) -> "ProgramSpec":
+        """A copy with one operation removed (the shrinker's step)."""
+        processes = list(self.processes)
+        ops = list(processes[proc])
+        del ops[index]
+        processes[proc] = tuple(ops)
+        return ProgramSpec(
+            processes=tuple(processes),
+            protocol=self.protocol,
+            owners=self.owners,
+            initial_value=self.initial_value,
+        )
+
+    def op_positions(self) -> List[Tuple[int, int]]:
+        """All ``(proc, index)`` positions, in deterministic order."""
+        return [
+            (proc, index)
+            for proc, ops in enumerate(self.processes)
+            for index in range(len(ops))
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialisation (counterexample files)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "processes": [[list(op) for op in ops] for ops in self.processes],
+            "owners": [list(pair) for pair in self.owners] if self.owners else None,
+            "initial_value": self.initial_value,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "ProgramSpec":
+        owners = data.get("owners")
+        return cls(
+            processes=tuple(
+                tuple(tuple(op) for op in ops) for ops in data["processes"]
+            ),
+            protocol=data["protocol"],
+            owners=tuple((loc, node) for loc, node in owners) if owners else None,
+            initial_value=data.get("initial_value", 0),
+        )
+
+
+def make_spec(
+    processes: Sequence[Sequence[Op]],
+    protocol: str = "causal",
+    owners: Optional[Dict[str, int]] = None,
+    initial_value: Any = 0,
+) -> ProgramSpec:
+    """Build a :class:`ProgramSpec` from plain lists/dicts."""
+    return ProgramSpec(
+        processes=tuple(tuple(tuple(op) for op in ops) for ops in processes),
+        protocol=protocol,
+        owners=tuple(sorted(owners.items())) if owners else None,
+        initial_value=initial_value,
+    )
+
+
+def random_program(
+    seed: int,
+    protocol: str = "causal",
+    n_procs: int = 3,
+    n_locations: int = 2,
+    ops_per_proc: int = 3,
+    read_fraction: float = 0.5,
+) -> ProgramSpec:
+    """A random small program with globally unique write values.
+
+    The same generator parameters as :func:`repro.checker.random_history`,
+    but producing a *program* (reads have no predetermined value — the
+    schedule decides what they return).
+    """
+    rng = random.Random(f"mc-program/{seed}")
+    locations = [f"l{i}" for i in range(n_locations)]
+    value = 0
+    processes: List[List[Op]] = []
+    for _ in range(n_procs):
+        ops: List[Op] = []
+        for _ in range(ops_per_proc):
+            location = rng.choice(locations)
+            if rng.random() < read_fraction:
+                ops.append(("r", location))
+            else:
+                value += 1
+                ops.append(("w", location, value))
+        processes.append(ops)
+    # Pin ownership round-robin so every program exercises remote paths
+    # deterministically (the hashed default could put everything on one
+    # node for small location sets).
+    owners = {loc: i % n_procs for i, loc in enumerate(locations)}
+    return make_spec(processes, protocol=protocol, owners=owners)
+
+
+def _fig3_spec(protocol: str = "broadcast") -> ProgramSpec:
+    """The paper's Figure 3 program (broadcast memory's non-causal run).
+
+    P2 reads y then x after writing x; P3 reads z then x.  Under
+    broadcast memory some interleaving records Figure 3's history, which
+    violates causality (P3 sees w(z)4 — causally after r(x)5 — yet then
+    reads x as 2).
+    """
+    return make_spec(
+        [
+            [("w", "x", 5), ("w", "y", 3)],
+            [("w", "x", 2), ("r", "y"), ("r", "x"), ("w", "z", 4)],
+            [("r", "z"), ("r", "x")],
+        ],
+        protocol=protocol,
+        owners={"x": 0, "y": 1, "z": 2},
+    )
+
+
+def _fig5_spec() -> ProgramSpec:
+    """The paper's Figure 5 weak execution (causal but not sequential).
+
+    Each process reads the other's flag (miss — caches the initial 0),
+    raises its own, and re-reads the other's from its now-stale cache.
+    The causal protocol admits the schedule where both re-reads return
+    0 — legal causal memory, impossible on sequential memory.
+    """
+    return make_spec(
+        [
+            [("r", "y"), ("w", "x", 1), ("r", "y")],
+            [("r", "x"), ("w", "y", 1), ("r", "x")],
+        ],
+        protocol="causal",
+        owners={"x": 0, "y": 1},
+    )
+
+
+def _exhaustive_spec() -> ProgramSpec:
+    """The acceptance-criteria config: 3 procs, 2 locations, 4 ops each."""
+    return random_program(
+        seed=0, protocol="causal", n_procs=3, n_locations=2, ops_per_proc=4
+    )
+
+
+PRESETS: Dict[str, Any] = {
+    "fig3": _fig3_spec,
+    "fig5": _fig5_spec,
+    "exhaustive": _exhaustive_spec,
+}
+
+
+def preset(name: str) -> ProgramSpec:
+    """A named example program (``fig3``, ``fig5``, ``exhaustive``)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise McError(
+            f"unknown preset {name!r}; have {sorted(PRESETS)}"
+        ) from None
+    return factory()

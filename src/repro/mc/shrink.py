@@ -1,0 +1,76 @@
+"""Counterexample shrinking: smallest program that still fails.
+
+A raw counterexample from exploration carries the whole original
+program; most of its operations are usually irrelevant to the violation.
+The shrinker greedily deletes one operation at a time and re-explores
+the reduced program (bounded, find-first) — if the *same kind* of
+violation is still reachable, the deletion sticks.  The loop restarts
+after every successful deletion and terminates at a 1-minimal program:
+removing any single remaining operation makes the violation unreachable
+within the re-exploration budget.
+
+Deletion changes the program, so the shrunk counterexample's trace is
+the one found on the reduced program, not a projection of the original —
+it replays directly via :func:`repro.mc.counterexample.replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.mc.counterexample import Counterexample
+from repro.mc.explore import ExploreConfig, explore
+from repro.mc.program import ProgramSpec
+
+__all__ = ["find_violation", "shrink"]
+
+
+def find_violation(
+    spec: ProgramSpec, config: ExploreConfig
+) -> Optional[Counterexample]:
+    """First violation reachable in ``spec``'s schedule space, if any."""
+    result = explore(spec, replace(config, stop_on_violation=True))
+    return result.violations[0] if result.violations else None
+
+
+def _matches(candidate: Counterexample, original: Counterexample) -> bool:
+    """Same failure class: kind and (for consistency) violated model."""
+    return (
+        candidate.kind == original.kind
+        and candidate.model == original.model
+    )
+
+
+def shrink(
+    cex: Counterexample,
+    config: ExploreConfig,
+    max_attempts: int = 200,
+) -> Counterexample:
+    """Greedily minimise ``cex``'s program while its violation survives.
+
+    ``config`` bounds each re-exploration (use the configuration that
+    found the violation; its budget is per-deletion-attempt).
+    ``max_attempts`` caps total re-explorations, so shrinking a large
+    program degrades to partial shrinking, never to non-termination.
+    """
+    best = cex
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        # Delete from the back so earlier positions stay valid within
+        # one sweep; restart the sweep after any success.
+        for proc, index in reversed(best.spec.op_positions()):
+            if attempts >= max_attempts:
+                break
+            candidate_spec = best.spec.without_op(proc, index)
+            if candidate_spec.n_ops == 0:
+                continue
+            attempts += 1
+            found = find_violation(candidate_spec, config)
+            if found is not None and _matches(found, best):
+                best = found
+                improved = True
+                break
+    return best

@@ -5,12 +5,22 @@ faults are *not* part of the system under test; they are a test instrument
 used to demonstrate the protocol's blocking behaviour (a reader blocked on a
 partitioned owner stays blocked — exactly what the paper's blocking
 semantics imply) and to validate the simulator itself.
+
+Windows may overlap: each directed link is reference-counted, so a link
+stays partitioned until the *last* window covering it ends.  (A naive
+begin/heal pairing would re-open the link at the first window's end — and,
+with a delta-stamp :class:`~repro.protocols.wire.WireCodec` installed,
+silently leak messages into a channel the codec still believes is lossy.)
+
+Fault begin/end actions are scheduled with kernel tags, so a controlled
+run (:mod:`repro.mc`) can reorder them against message deliveries and
+explore *where* an outage falls relative to the protocol's handshakes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
@@ -32,6 +42,12 @@ class PartitionWindow:
         if self.end < self.start:
             raise ValueError(f"window ends before it starts: {self}")
 
+    def links(self) -> List[Tuple[int, int]]:
+        """The directed links this window takes down."""
+        if self.bidirectional:
+            return [(self.src, self.dst), (self.dst, self.src)]
+        return [(self.src, self.dst)]
+
 
 class FaultSchedule:
     """Installs timed partitions onto a network.
@@ -45,7 +61,14 @@ class FaultSchedule:
     >>> net.register(1, lambda s, m: None)
     >>> schedule = FaultSchedule(sim, net)
     >>> schedule.partition_between(0, 1, start=10.0, end=20.0)
+    >>> schedule.partition_between(0, 1, start=15.0, end=30.0)  # overlaps
     >>> schedule.install()
+    >>> sim.run(until=20.5)
+    >>> (0, 1) in net._partitioned   # still down: second window holds it
+    True
+    >>> sim.run()
+    >>> (0, 1) in net._partitioned
+    False
     """
 
     def __init__(self, sim: Simulator, network: Network):
@@ -53,6 +76,7 @@ class FaultSchedule:
         self.network = network
         self.windows: List[PartitionWindow] = []
         self._installed = False
+        self._active: Dict[Tuple[int, int], int] = {}
 
     def partition_between(
         self,
@@ -73,16 +97,33 @@ class FaultSchedule:
         if self._installed:
             raise RuntimeError("fault schedule installed twice")
         self._installed = True
-        for window in self.windows:
+        for index, window in enumerate(self.windows):
             self.sim.schedule_at(
                 window.start,
-                lambda w=window: self.network.partition(
-                    w.src, w.dst, bidirectional=w.bidirectional
-                ),
+                lambda w=window: self._begin(w),
+                tag=("fault", index, "begin"),
             )
             self.sim.schedule_at(
                 window.end,
-                lambda w=window: self.network.heal(
-                    w.src, w.dst, bidirectional=w.bidirectional
-                ),
+                lambda w=window: self._end(w),
+                tag=("fault", index, "end"),
             )
+
+    # ------------------------------------------------------------------
+    # Reference-counted link state
+    # ------------------------------------------------------------------
+    def _begin(self, window: PartitionWindow) -> None:
+        for link in window.links():
+            count = self._active.get(link, 0)
+            self._active[link] = count + 1
+            if count == 0:
+                self.network.partition(*link, bidirectional=False)
+
+    def _end(self, window: PartitionWindow) -> None:
+        for link in window.links():
+            count = self._active.get(link, 0) - 1
+            if count <= 0:
+                self._active.pop(link, None)
+                self.network.heal(*link, bidirectional=False)
+            else:
+                self._active[link] = count

@@ -26,6 +26,20 @@ Performance notes:
 * The heap holds plain ``(time, seq, event)`` tuples: ``seq`` is unique,
   so ``heapq`` resolves every comparison on the first two elements at C
   speed and never calls a Python-level ``__lt__``.
+
+Controlled scheduling (the model-checking hook):
+
+* Every event may carry a ``tag`` — a small tuple describing *what* the
+  event is (a message delivery, a task resumption, a fault action) —
+  set by the scheduling site and never interpreted by the kernel.
+* :meth:`Simulator.enabled_events` exposes the live pending events and
+  :meth:`Simulator.execute_event` runs a chosen one regardless of its
+  position in the time order; together they let an external explorer
+  (:mod:`repro.mc`) enumerate message-delivery interleavings instead of
+  following wall-clock order.  Executing an event "early" only ever
+  advances the clock (``now`` never moves backwards), which models a
+  different — but still legal — latency assignment for the remaining
+  messages.
 """
 
 from __future__ import annotations
@@ -53,7 +67,9 @@ class ScheduledEvent:
     (or dropped by a compaction).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_sim", "_in_heap")
+    __slots__ = (
+        "time", "seq", "callback", "cancelled", "tag", "_sim", "_in_heap",
+    )
 
     def __init__(
         self,
@@ -63,18 +79,21 @@ class ScheduledEvent:
         cancelled: bool = False,
         _sim: Optional["Simulator"] = None,
         _in_heap: bool = False,
+        tag: Optional[tuple] = None,
     ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = cancelled
+        self.tag = tag
         self._sim = _sim
         self._in_heap = _in_heap
 
     def __repr__(self) -> str:
         return (
             f"ScheduledEvent(time={self.time!r}, seq={self.seq!r}, "
-            f"callback={self.callback!r}, cancelled={self.cancelled!r})"
+            f"callback={self.callback!r}, cancelled={self.cancelled!r}, "
+            f"tag={self.tag!r})"
         )
 
     def cancel(self) -> None:
@@ -122,30 +141,42 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        tag: Optional[tuple] = None,
+    ) -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         time = self.now + delay
         self._seq = seq = self._seq + 1
-        event = ScheduledEvent(time, seq, callback, False, self, True)
+        event = ScheduledEvent(time, seq, callback, False, self, True, tag)
         heappush(self._queue, (time, seq, event))
         return event
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        tag: Optional[tuple] = None,
+    ) -> ScheduledEvent:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
         self._seq = seq = self._seq + 1
-        event = ScheduledEvent(time, seq, callback, False, self, True)
+        event = ScheduledEvent(time, seq, callback, False, self, True, tag)
         heappush(self._queue, (time, seq, event))
         return event
 
-    def call_soon(self, callback: Callable[[], None]) -> ScheduledEvent:
+    def call_soon(
+        self, callback: Callable[[], None], tag: Optional[tuple] = None
+    ) -> ScheduledEvent:
         """Schedule ``callback`` at the current time (after pending events)."""
-        return self.schedule(0.0, callback)
+        return self.schedule(0.0, callback, tag=tag)
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -269,6 +300,46 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+
+    # ------------------------------------------------------------------
+    # Controlled scheduling (the repro.mc explorer hook)
+    # ------------------------------------------------------------------
+    def enabled_events(self) -> list[ScheduledEvent]:
+        """All live pending events, sorted by ``(time, seq)``.
+
+        This is the *enabled set* an external explorer chooses from.  The
+        returned order is deterministic (the same order ``run`` would pop
+        them in), which keeps explorer traces replayable.  Cancelled
+        corpses are filtered but deliberately left in the heap — the
+        normal pop paths account for them.
+        """
+        live = [entry[2] for entry in self._queue if not entry[2].cancelled]
+        live.sort(key=lambda event: (event.time, event.seq))
+        return live
+
+    def execute_event(self, event: ScheduledEvent) -> None:
+        """Execute one chosen pending event, out of time order if need be.
+
+        The explorer's counterpart to :meth:`step`: the event is removed
+        from the queue and run, and the clock advances to its timestamp
+        if that lies in the future (choosing a "late" event first models
+        a latency assignment under which it arrived earlier; the clock
+        never moves backwards).  Counters are maintained exactly as for a
+        normally popped event.  O(n) per call — controlled runs are small
+        by construction, and the normal ``run`` path is untouched.
+        """
+        if event.cancelled or not event._in_heap:
+            raise SimulationError(f"cannot execute {event!r}: not pending")
+        try:
+            self._queue.remove((event.time, event.seq, event))
+        except ValueError:  # pragma: no cover - _in_heap guards this
+            raise SimulationError(f"{event!r} is not in this simulator's queue")
+        heapq.heapify(self._queue)
+        event._in_heap = False
+        if event.time > self.now:
+            self.now = event.time
+        self._events_processed += 1
+        event.callback()
 
     # ------------------------------------------------------------------
     # Queue internals (the one place cancelled events are skipped)

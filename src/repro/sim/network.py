@@ -222,7 +222,9 @@ class Network:
                 byte_size=nbytes, stamp_entries=stamp_entries,
             ))
         self.sim.schedule_at(
-            deliver_at, lambda: self._deliver(src, dst, payload)
+            deliver_at,
+            lambda: self._deliver(src, dst, payload),
+            tag=("deliver", src, dst, kind),
         )
 
     def _deliver(self, src: int, dst: int, payload: object) -> None:

@@ -150,7 +150,7 @@ class Task(Future):
     def _handle_yield(self, yielded: Any) -> None:
         sim = self._scheduler.sim
         if yielded is None:
-            sim.call_soon(lambda: self._step(None))
+            sim.call_soon(lambda: self._step(None), tag=("task", self.name))
             return
         if isinstance(yielded, Future):
             yielded.add_done_callback(self._on_future_done)
@@ -168,10 +168,10 @@ class Task(Future):
         if future.failed:
             exc = future.exception()
             assert exc is not None
-            sim.call_soon(lambda: self._step(exc=exc))
+            sim.call_soon(lambda: self._step(exc=exc), tag=("task", self.name))
         else:
             value = future.result()
-            sim.call_soon(lambda: self._step(value))
+            sim.call_soon(lambda: self._step(value), tag=("task", self.name))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.resolved else "running"
@@ -191,7 +191,7 @@ class TaskScheduler:
             name = f"task-{len(self.tasks)}"
         task = Task(self, gen, name)
         self.tasks.append(task)
-        self.sim.call_soon(lambda: task._step(None))
+        self.sim.call_soon(lambda: task._step(None), tag=("task", name))
         return task
 
     # -- bookkeeping -------------------------------------------------------
@@ -232,7 +232,9 @@ class TaskScheduler:
 def sleep(sim: Simulator, duration: float) -> Future:
     """A future that resolves ``duration`` time units from now."""
     future = Future(label=f"sleep:{duration}")
-    sim.schedule(duration, lambda: future.resolve(None))
+    sim.schedule(
+        duration, lambda: future.resolve(None), tag=("sleep", duration)
+    )
     return future
 
 

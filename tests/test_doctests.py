@@ -20,10 +20,12 @@ import repro.clocks.vector_clock
 import repro.memory.namespace
 import repro.protocols.base
 import repro.sim.kernel
+import repro.sim.faults
 
 MODULES = [
     repro,
     repro.sim.kernel,
+    repro.sim.faults,
     repro.clocks.vector_clock,
     repro.clocks.lamport,
     repro.memory.namespace,

@@ -89,3 +89,111 @@ class TestProtocolUnderPartition:
         task = cluster.spawn(1, reader)
         cluster.run()
         assert task.result() == 0
+
+
+class TestOverlappingWindows:
+    """Windows are reference-counted: the link re-opens only when the
+    *last* covering window ends, never at the first window's end."""
+
+    @staticmethod
+    def _wired(windows):
+        sim = Simulator()
+        net = Network(sim)
+        inbox = []
+        net.register(0, lambda s, m: None)
+        net.register(1, lambda s, m: inbox.append(m))
+        schedule = FaultSchedule(sim, net)
+        for start, end in windows:
+            schedule.partition_between(0, 1, start=start, end=end)
+        schedule.install()
+        return sim, net, inbox
+
+    def test_link_held_until_last_window_ends(self):
+        sim, net, inbox = self._wired([(3.0, 6.0), (5.0, 9.0)])
+
+        class Msg:
+            kind = "M"
+
+        # 7.0 is the interesting send: after window one ended, but inside
+        # window two — a naive begin/heal pairing would deliver it.
+        for when in (1.0, 4.0, 7.0, 10.0):
+            sim.schedule(when, lambda: net.send(0, 1, Msg()))
+        sim.run()
+        assert len(inbox) == 2
+        assert net.stats.dropped == 2
+
+    def test_identical_windows_do_not_double_heal(self):
+        sim, net, inbox = self._wired([(3.0, 6.0), (3.0, 6.0)])
+
+        class Msg:
+            kind = "M"
+
+        for when in (4.0, 7.0):
+            sim.schedule(when, lambda: net.send(0, 1, Msg()))
+        sim.run()
+        assert len(inbox) == 1
+        assert (0, 1) not in net._partitioned
+
+    def test_nested_window_keeps_outer_outage(self):
+        sim, net, inbox = self._wired([(2.0, 12.0), (4.0, 6.0)])
+
+        class Msg:
+            kind = "M"
+
+        # After the inner window ends the outer one still holds the link.
+        for when in (8.0, 13.0):
+            sim.schedule(when, lambda: net.send(0, 1, Msg()))
+        sim.run()
+        assert len(inbox) == 1
+
+
+class TestWireResyncUnderOverlap:
+    """Interaction with the wire fast path: every message lost to a
+    partition dirties the delta codec, so the first post-heal message
+    carries full writestamps instead of a delta against a basis the
+    receiver never saw (which would raise ``WireDesyncError``)."""
+
+    def test_overlapping_outage_restarts_delta_chain(self):
+        cluster = DSMCluster(2, protocol="broadcast", delta_stamps=True)
+        codec = cluster.network.codec
+        schedule = FaultSchedule(cluster.sim, cluster.network)
+        schedule.partition_between(0, 1, start=3.0, end=6.0)
+        schedule.partition_between(0, 1, start=5.0, end=9.0)
+        schedule.install()
+
+        def writer(api):
+            from repro.sim.tasks import sleep
+
+            yield api.write("x", 1)  # t=0: full stamp opens the chain
+            yield api.write("x", 2)  # t=0: delta against the basis
+            yield sleep(cluster.sim, 4.0)
+            yield api.write("x", 3)  # t=4: dropped by window one
+            yield sleep(cluster.sim, 3.0)
+            yield api.write("x", 4)  # t=7: dropped — window two holds on
+            yield sleep(cluster.sim, 3.0)
+            yield api.write("x", 5)  # t=10: healed; must resync
+
+        probes = {}
+
+        def probe(label):
+            state = codec._send_state.get((0, 1))
+            probes[label] = (
+                state.basis if state is not None else None,
+                (0, 1) in cluster.network._partitioned,
+            )
+
+        cluster.sim.schedule_at(2.5, lambda: probe("established"))
+        cluster.sim.schedule_at(7.5, lambda: probe("overlap_tail"))
+        cluster.spawn(0, writer)
+        cluster.run()  # WireDesyncError here would mean a leaked delta
+
+        basis, partitioned = probes["established"]
+        assert basis is not None and not partitioned
+        basis, partitioned = probes["overlap_tail"]
+        # Window one already ended, yet the link is still down and the
+        # drops have dirtied the channel.
+        assert basis is None and partitioned
+        assert cluster.network.stats.dropped == 2
+        # The post-heal write restarted the chain from a full stamp.
+        assert codec._send_state[(0, 1)].basis is not None
+        assert codec.stamps_full >= 2

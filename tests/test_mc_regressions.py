@@ -1,0 +1,110 @@
+"""Paper anomalies re-derived by the explorer, not by hand.
+
+The scenario harness (:mod:`repro.harness.scenarios`) *constructs* the
+Figure 3 and Figure 5 executions with hand-placed watches; these tests
+make the explorer *find* them from nothing but the program and the
+protocol — and then shrink them, asserting the search needs no more
+operations than the hand-written scenarios use.
+"""
+
+import pytest
+
+from repro.checker import check_causal, check_sequential, check_slow
+from repro.mc import (
+    ExploreConfig,
+    explore,
+    preset,
+    replay,
+    replay_trace,
+    shrink,
+)
+
+
+class TestFigure3:
+    """Broadcast memory admits the non-causal Figure 3 execution."""
+
+    @pytest.fixture(scope="class")
+    def found(self):
+        config = ExploreConfig(
+            strategy="random",
+            seed=0,
+            max_schedules=2000,
+            expected_model="causal",
+            stop_on_violation=True,
+        )
+        result = explore(preset("fig3"), config)
+        assert result.violations, (
+            "explorer failed to find the Figure 3 anomaly"
+        )
+        return config, result.violations[0]
+
+    def test_violation_is_the_broadcast_anomaly(self, found):
+        _, cex = found
+        assert cex.kind == "consistency"
+        assert cex.model == "causal"
+        outcome = replay(cex)
+        assert not check_causal(outcome.history).ok
+        # Broadcast memory keeps its actual (weaker) promise.
+        assert check_slow(outcome.history).ok
+
+    def test_shrinks_to_at_most_hand_written_size(self, found):
+        config, cex = found
+        hand_written = preset("fig3").n_ops  # 8 ops, as in the paper
+        small = shrink(
+            cex,
+            ExploreConfig(
+                strategy="random",
+                seed=0,
+                max_schedules=600,
+                expected_model="causal",
+                stop_on_violation=True,
+            ),
+        )
+        assert small.n_ops <= hand_written
+        # The shrunk schedule replays to a still-non-causal history.
+        outcome = replay(small)
+        assert not check_causal(outcome.history).ok
+
+
+class TestFigure5:
+    """The owner protocol admits Figure 5 (causal, not sequential)."""
+
+    @pytest.fixture(scope="class")
+    def found(self):
+        config = ExploreConfig(
+            strategy="dfs",
+            max_schedules=5000,
+            expected_model="sequential",
+            stop_on_violation=True,
+        )
+        result = explore(preset("fig5"), config)
+        assert result.violations, (
+            "explorer failed to find the Figure 5 weak execution"
+        )
+        return config, result.violations[0]
+
+    def test_violation_is_weak_but_causal(self, found):
+        _, cex = found
+        assert cex.model == "sequential"
+        outcome = replay(cex)
+        assert not check_sequential(outcome.history).ok
+        # The whole point of Figure 5: still perfectly causal.
+        assert check_causal(outcome.history).ok
+
+    def test_shrinks_to_at_most_hand_written_size(self, found):
+        config, cex = found
+        hand_written = preset("fig5").n_ops  # 6 ops, as in the paper
+        small = shrink(cex, config)
+        assert small.n_ops <= hand_written
+        outcome = replay_trace(small.spec, small.trace)
+        assert not check_sequential(outcome.history).ok
+        assert check_causal(outcome.history).ok
+
+    def test_never_misreported_on_causal_promise(self):
+        """Against its *own* promise the causal protocol is clean."""
+        result = explore(
+            preset("fig5"),
+            ExploreConfig(strategy="dfs", max_schedules=500_000),
+        )
+        assert result.exhausted
+        assert result.ok

@@ -125,3 +125,77 @@ def test_single_process_histories_are_sequential_iff_causal(params):
     sc = check_sequential(history, want_witness=False).ok
     causal = check_causal(history).ok
     assert sc == causal, history.to_text()
+
+
+# ----------------------------------------------------------------------
+# The same properties on *explorer-produced* histories: every random
+# schedule of a real protocol execution, not just synthetic histories.
+# ----------------------------------------------------------------------
+explorer_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=5_000),
+        "protocol": st.sampled_from(
+            ["causal", "atomic", "broadcast", "central", "li"]
+        ),
+        "schedule": st.integers(min_value=0, max_value=1_000),
+    }
+)
+
+
+def _explorer_history(params):
+    import random as random_module
+
+    from repro.mc import ControlledRun, random_program
+
+    spec = random_program(
+        seed=params["seed"],
+        protocol=params["protocol"],
+        n_procs=2,
+        n_locations=2,
+        ops_per_proc=3,
+    )
+    rng = random_module.Random(f"prop/{params['schedule']}")
+    run = ControlledRun(spec)
+    while run.crashed is None:
+        actions = run.actions()
+        if not actions:
+            break
+        run.apply(actions[rng.randrange(len(actions))])
+    outcome = run.outcome()
+    assert outcome.clean, outcome
+    return outcome.history
+
+
+@settings(**COMMON)
+@given(explorer_params)
+def test_implication_chain_on_explorer_histories(params):
+    """SC => causal => PRAM => slow holds on real protocol executions."""
+    history = _explorer_history(params)
+    sequential = check_sequential(history, want_witness=False).ok
+    causal = check_causal(history).ok
+    pram = check_pram(history).ok
+    slow = check_slow(history).ok
+    if sequential:
+        assert causal, history.to_text()
+    if causal:
+        assert pram, history.to_text()
+    if pram:
+        assert slow, history.to_text()
+
+
+@settings(**COMMON)
+@given(explorer_params)
+def test_protocols_keep_their_promise_on_any_schedule(params):
+    """Every protocol satisfies its promised model under every schedule."""
+    from repro.mc import EXPECTED_MODEL
+
+    history = _explorer_history(params)
+    checks = {
+        "sequential": lambda h: check_sequential(h, want_witness=False).ok,
+        "causal": lambda h: check_causal(h).ok,
+        "slow": lambda h: check_slow(h).ok,
+    }
+    expected = EXPECTED_MODEL[params["protocol"]]
+    assert checks[expected](history), (
+        f"{params['protocol']} broke {expected}:\n{history.to_text()}"
+    )
