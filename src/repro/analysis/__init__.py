@@ -22,7 +22,7 @@ from repro.analysis.message_model import (
     stamp_bytes_per_message,
 )
 from repro.analysis.results import ResultDelta, ResultsStore
-from repro.analysis.tables import Table
+from repro.analysis.tables import Table, snapshot_table
 
 __all__ = [
     "BenchRecord",
@@ -36,4 +36,5 @@ __all__ = [
     "delta_stamp_reduction",
     "stamp_bytes_per_message",
     "Table",
+    "snapshot_table",
 ]

@@ -12,7 +12,7 @@ Schema (``schema`` is bumped on incompatible change; the reader accepts
 every version up to the current one)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -28,7 +28,10 @@ every version up to the current one)::
             "bandwidth": {"n=8": {"baseline": {...}, "fastpath": {...},
                                    "bytes_per_op_reduction": ...,
                                    "stamp_entries_per_op_reduction": ...},
-                          ...}
+                          ...},
+            "obs": {"guard_overhead": ..., "emit_overhead": ...,
+                    "traced_fig4": {"trace_events": ...,
+                                     "metrics": {...}, ...}}
           }
         }, ...
       ]
@@ -40,6 +43,8 @@ Schema history:
 * **2** — adds the optional ``bandwidth`` section (wire-level A/B:
   bytes per op, writestamp entries per op, batch occupancy).  v1 files
   load unchanged — the section is simply absent from their runs.
+* **3** — adds the optional ``obs`` section (tracing overhead A/B and
+  the traced-run metrics snapshot).  Older files load unchanged.
 
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
@@ -65,11 +70,11 @@ from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Versions the reader understands.  v1 files simply lack the optional
-#: ``bandwidth`` metric section, so they load as-is.
-SUPPORTED_SCHEMAS = (1, 2)
+#: Versions the reader understands.  Older files simply lack the
+#: optional ``bandwidth`` / ``obs`` metric sections, so they load as-is.
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 
 @dataclass(frozen=True)

@@ -2,13 +2,15 @@
 
 No third-party dependency; fixed-width ASCII with right-aligned numeric
 columns, plus a GitHub-markdown renderer for the documentation files.
+:func:`snapshot_table` renders a series of labelled
+:class:`~repro.sim.trace.CounterSnapshot` rows as interval deltas.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, List, Sequence
 
-__all__ = ["Table"]
+__all__ = ["Table", "snapshot_table"]
 
 
 def _format_cell(value: Any) -> str:
@@ -93,3 +95,31 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def snapshot_table(
+    snapshots: Sequence[Any],
+    title: str = "Message counters by interval",
+) -> Table:
+    """Interval deltas of a cumulative snapshot series, labels surfaced.
+
+    Each row is one interval between consecutive snapshots (the first
+    row counts from zero).  A label supplied at snapshot time
+    (``NetworkStats.snapshot(now, label="iteration=3")``) names its row;
+    unlabelled intervals fall back to their index.
+    """
+    table = Table(
+        ["interval", "t", "messages", "bytes", "stamp entries"], title=title
+    )
+    previous = None
+    for index, snapshot in enumerate(snapshots):
+        delta = snapshot.delta(previous) if previous is not None else snapshot
+        table.add_row(
+            delta.label if delta.label is not None else f"#{index}",
+            delta.time,
+            delta.total,
+            delta.bytes_total,
+            delta.stamp_entries,
+        )
+        previous = snapshot
+    return table

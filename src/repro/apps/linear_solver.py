@@ -100,6 +100,9 @@ class SolverResult:
     messages_by_kind: Dict[str, int]
     wait_mode: str
     elapsed_sim_time: float
+    #: Labelled cumulative counter snapshots, one per Jacobi iteration
+    #: (``label="iteration=k"``) — feed :func:`repro.analysis.snapshot_table`.
+    phase_snapshots: List = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line result for reports."""
@@ -234,7 +237,7 @@ class SynchronousSolver:
                 yield api.write(location_array("A", i, j), float(self.system.a[i, j]))
             yield api.write(location_array("b", i), float(self.system.b[i]))
         yield api.write("ready", True)
-        for _ in range(self.iterations):
+        for k in range(self.iterations):
             for i in range(n):
                 yield from self._wait(
                     api, location_array("complete", i), lambda v: bool(v)
@@ -248,7 +251,9 @@ class SynchronousSolver:
             for i in range(n):
                 yield api.write(location_array("changed", i), False)
             self._phase_snapshots.append(
-                self.cluster.stats.snapshot(self.cluster.sim.now)
+                self.cluster.stats.snapshot(
+                    self.cluster.sim.now, label=f"iteration={k}"
+                )
             )
 
     # ------------------------------------------------------------------
@@ -278,6 +283,7 @@ class SynchronousSolver:
             messages_by_kind=dict(self.cluster.stats.by_kind),
             wait_mode=self.wait_mode,
             elapsed_sim_time=self.cluster.sim.now,
+            phase_snapshots=list(self._phase_snapshots),
         )
 
     def _read_back_solution(self) -> np.ndarray:

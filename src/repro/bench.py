@@ -20,7 +20,13 @@ numbers to a persistent JSON trajectory (``BENCH_substrate.json``, see
 * **bandwidth** — an A/B of the wire-level fast path (schema v2): the
   same mixed workload run on the baseline causal protocol and on the
   batched + delta-stamp configuration, reporting bytes/op, writestamp
-  entries/op, batch occupancy, and the relative reductions.
+  entries/op, batch occupancy, and the relative reductions;
+* **obs** — the tracing layer's cost and yield (schema v3): the kernel
+  microbench re-run with a :class:`~repro.obs.collector.TraceCollector`
+  attached (guard-only and full-emit variants, reported as overhead
+  ratios against the detached run), plus the metrics snapshot of a
+  traced Figure 4 run — invalidation sweeps per write, read-miss round
+  trips, checker cache hit rate.
 
 ``--smoke`` shrinks the workloads so the whole run finishes in a few
 seconds — that mode is exercised by the tier-1 test suite, keeping the
@@ -218,6 +224,81 @@ def bench_bandwidth(
     }
 
 
+def bench_obs(events: int, repeats: int) -> Dict[str, Any]:
+    """Tracing overhead A/B on the kernel microbench, plus a traced run.
+
+    Three timings of the same tick chain :func:`bench_kernel` uses:
+
+    * ``detached`` — no collector: the pre-obs fast path (its ratio to
+      the ``kernel`` section is pure run-to-run noise);
+    * ``attached_untagged`` — collector attached but events untagged:
+      the instrumented twin loop runs, never emits — isolates the
+      per-event guard (this is the ratio CI bounds at 10%);
+    * ``attached_tagged`` — collector attached (metrics only, no event
+      retention) and every tick tagged: the full emit cost.
+
+    The ``traced_fig4`` block is the yield side: the metrics snapshot of
+    one traced Figure 4 run, with the checker re-checking its history
+    twice through :class:`~repro.checker.CachedCausalChecker` so the
+    cache-hit-rate counter is exercised.
+    """
+    from repro.checker import CachedCausalChecker
+    from repro.obs import TraceCollector, run_traced_figure4
+    from repro.sim.kernel import Simulator
+
+    def chain(attach: bool, tagged: bool) -> float:
+        def run() -> None:
+            sim = Simulator()
+            if attach:
+                collector = TraceCollector(keep_events=False)
+                collector.bind(sim)
+                sim.obs = collector
+            tag = ("task", "tick") if tagged else None
+            count = [0]
+
+            def tick() -> None:
+                count[0] += 1
+                if count[0] < events:
+                    sim.schedule(1.0, tick, tag=tag)
+
+            sim.schedule(1.0, tick, tag=tag)
+            sim.run()
+            assert count[0] == events
+
+        return _best_of(run, repeats)
+
+    detached = chain(attach=False, tagged=False)
+    untagged = chain(attach=True, tagged=False)
+    tagged = chain(attach=True, tagged=True)
+
+    traced = run_traced_figure4()
+    collector = traced.collector
+    checker = CachedCausalChecker()
+    checker.obs = collector
+    checker.check(traced.history)
+    checker.check(traced.history)  # dominated re-check: a history-table hit
+    registry = collector.metrics
+    return {
+        "events": events,
+        "detached_events_per_sec": events / detached,
+        "attached_untagged_events_per_sec": events / untagged,
+        "attached_tagged_events_per_sec": events / tagged,
+        "guard_overhead": untagged / detached - 1.0,
+        "emit_overhead": tagged / detached - 1.0,
+        "traced_fig4": {
+            "trace_events": len(collector.events),
+            "invalidations_per_write": registry.ratio(
+                "proto.inv.sweep", "proto.op.write"
+            ),
+            "read_miss_round_trip_mean": registry.histogram(
+                "read_miss.round_trip"
+            ).mean,
+            "checker_history_hit_rate": checker.history_hit_rate,
+            "metrics": registry.snapshot(),
+        },
+    }
+
+
 def bench_checker(n_nodes: int, ops_per_proc: int, repeats: int) -> Dict[str, Any]:
     """Definition 2 verification of a recorded random execution."""
     from repro.apps.workload import WorkloadConfig, run_random_execution
@@ -327,6 +408,7 @@ def run_suite(
         "protocol": {},
         "checker": {},
         "bandwidth": {},
+        "obs": {},
     }
     for n in node_counts:
         say(f"protocol: n={n}, {protocol_ops} ops/proc x{repeats}")
@@ -340,6 +422,8 @@ def run_suite(
     for n in node_counts:
         say(f"bandwidth A/B: n={n}, {protocol_ops} ops/proc x{repeats}")
         metrics["bandwidth"][f"n={n}"] = bench_bandwidth(n, protocol_ops, repeats)
+    say(f"obs overhead A/B: {kernel_events} events x{repeats}")
+    metrics["obs"] = bench_obs(kernel_events, repeats)
     return metrics
 
 
@@ -381,6 +465,17 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
             f"{fast['stamp_entries_per_op']:.1f} "
             f"(-{data['stamp_entries_per_op_reduction']:.0%}), "
             f"occupancy {fast.get('batch_occupancy', 0.0):.2f}"
+        )
+    obs = metrics.get("obs")
+    if obs:
+        traced = obs["traced_fig4"]
+        lines.append(
+            f"obs overhead      guard {obs['guard_overhead']:+.1%}, "
+            f"emit {obs['emit_overhead']:+.1%} "
+            f"({obs['detached_events_per_sec']:,.0f} detached ev/s); "
+            f"fig4 trace {traced['trace_events']} events, "
+            f"{traced['invalidations_per_write']:.1f} sweeps/write, "
+            f"checker hit {traced['checker_history_hit_rate']:.0%}"
         )
     return lines
 

@@ -99,13 +99,16 @@ class CausalCheckResult:
 
 
 def check_causal(
-    history: History, cache: Optional[LiveSetCache] = None
+    history: History,
+    cache: Optional[LiveSetCache] = None,
+    obs=None,
 ) -> CausalCheckResult:
     """Check Definition 2: every read returns a live value.
 
     ``cache`` (optional) memoises per-read live sets under causal-past
     fingerprints; share one cache across calls when checking many
     related histories.  Verdicts are identical with or without it.
+    ``obs`` (optional TraceCollector) receives a ``check.verdict`` event.
 
     Examples
     --------
@@ -120,6 +123,8 @@ def check_causal(
     try:
         order = CausalOrder(history)
     except CausalityCycleError as cycle:
+        if obs is not None:
+            obs.emit("check", "verdict", ok=False, cycle=str(cycle))
         return CausalCheckResult(ok=False, cycle=cycle)
 
     verdicts: List[ReadVerdict] = []
@@ -130,7 +135,16 @@ def check_causal(
         verdicts.append(
             ReadVerdict(read=read, live_writes=tuple(live), ok=ok)
         )
-    return CausalCheckResult(ok=all(v.ok for v in verdicts), verdicts=verdicts)
+    result = CausalCheckResult(
+        ok=all(v.ok for v in verdicts), verdicts=verdicts
+    )
+    if obs is not None:
+        obs.emit(
+            "check", "verdict", ok=result.ok,
+            reads=len(verdicts), violations=len(result.violations),
+            cached=False,
+        )
+    return result
 
 
 def history_fingerprint(history: History) -> Tuple:
@@ -166,6 +180,8 @@ class CachedCausalChecker:
         self.history_hits = 0
         self.history_misses = 0
         self._results: Dict[Tuple, CausalCheckResult] = {}
+        #: Attached TraceCollector, or None (all emits are guarded).
+        self.obs = None
 
     def check(self, history: History) -> CausalCheckResult:
         """Check ``history``, reusing any memoised verdict."""
@@ -173,9 +189,11 @@ class CachedCausalChecker:
         result = self._results.get(key)
         if result is not None:
             self.history_hits += 1
+            if self.obs is not None:
+                self.obs.emit("check", "verdict", ok=result.ok, cached=True)
             return result
         self.history_misses += 1
-        result = check_causal(history, cache=self.live_cache)
+        result = check_causal(history, cache=self.live_cache, obs=self.obs)
         self._results[key] = result
         return result
 

@@ -11,6 +11,7 @@ Examples
     repro fig2
     repro solver-table
     repro all
+    repro trace --scenario fig4 --format chrome -o fig4.trace.json
 """
 
 from __future__ import annotations
@@ -58,6 +59,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "report",
         help="run every experiment and print EXPERIMENTS.md markdown",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced scenario and export its causal trace",
+    )
+    trace.add_argument(
+        "--scenario",
+        default="fig4",
+        choices=["fig3", "fig4"],
+        help="which paper scenario to run with tracing on (default: fig4)",
+    )
+    trace.add_argument(
+        "--format",
+        default="chrome",
+        choices=["chrome", "dot", "json", "timeline"],
+        help=(
+            "chrome: Chrome trace_event JSON (chrome://tracing, Perfetto); "
+            "dot: causal DAG as Graphviz; json: raw event records; "
+            "timeline: human-readable per-node timeline (default: chrome)"
+        ),
+    )
+    trace.add_argument(
+        "--output", "-o",
+        metavar="PATH",
+        default=None,
+        help="write to this file instead of stdout",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="timeline format: show at most this many events",
+    )
     for name, factory in sorted(EXPERIMENTS.items()):
         doc = (factory.__doc__ or "").strip().splitlines()
         help_text = doc[0] if doc else name
@@ -78,6 +112,43 @@ def _run_one(name: str, store=None) -> bool:
     if store is not None:
         store.record(name, report.passed, report.data)
     return report.passed
+
+
+def _cmd_trace(args) -> int:
+    """Run one traced scenario and export its trace in the chosen format."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        SCENARIOS,
+        format_timeline,
+        to_causal_dag,
+        to_chrome_trace,
+        to_dot,
+        validate_chrome_trace,
+    )
+
+    run = SCENARIOS[args.scenario](seed=args.seed)
+    events = list(run.collector)
+    if args.format == "chrome":
+        payload = to_chrome_trace(events)
+        validate_chrome_trace(payload)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    elif args.format == "dot":
+        text = to_dot(to_causal_dag(events))
+    elif args.format == "json":
+        text = json.dumps(run.collector.to_jsonable(), indent=2)
+    else:
+        text = format_timeline(events, limit=args.limit)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(
+            f"{args.scenario}: {len(events)} events "
+            f"({args.format}) -> {args.output}"
+        )
+    else:
+        print(text)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -105,6 +176,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(generate_markdown_report())
         return 0
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "all":
         from repro.analysis.results import ResultsStore
 

@@ -113,6 +113,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if cex is not None and args.shrink:
         cex = shrink(cex, config)
     if args.save and cex is not None:
+        # Saved artifacts are self-explaining: replay once with tracing
+        # on and embed the violating run's causal trace.
+        cex = cex.with_causal_trace()
         cex.save(args.save)
     if args.json:
         payload = result.to_jsonable()

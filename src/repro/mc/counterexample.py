@@ -15,16 +15,18 @@ a silent pass.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.mc.program import McError, ProgramSpec
-from repro.mc.scheduler import Action, RunOutcome, replay_trace
+from repro.mc.scheduler import Action, ControlledRun, RunOutcome, replay_trace
 
 __all__ = ["Counterexample", "ReplayMismatch", "replay"]
 
-FORMAT_VERSION = 1
+#: Version 2 added the embedded causal trace (``events``); version-1
+#: files still load, with an empty trace.
+FORMAT_VERSION = 2
 
 
 class ReplayMismatch(McError):
@@ -42,6 +44,10 @@ class Counterexample:
     description: str
     history_text: str
     verdicts: Dict[str, bool] = field(default_factory=dict)
+    #: The violating run's causal trace: TraceEvent.to_jsonable() dicts
+    #: in emission order (empty for v1 files or un-traced finds).  See
+    #: :meth:`with_causal_trace`.
+    events: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def n_ops(self) -> int:
@@ -66,7 +72,43 @@ class Counterexample:
                 for model, ok in sorted(self.verdicts.items())
             )
             lines.append(f"verdicts: {verdict_text}")
+        if self.events:
+            lines.append(f"causal trace: {len(self.events)} events embedded")
         return "\n".join(lines)
+
+    def with_causal_trace(self) -> "Counterexample":
+        """Replay this schedule with tracing on and embed the trace.
+
+        The replay is exact (the recorded action sequence, step by step)
+        with a :class:`~repro.obs.collector.TraceCollector` attached to
+        every layer, and the recorded history is re-checked with the
+        collector observing the verdict — so the embedded trace ends
+        with the violation's ``check.verdict`` event and carries the
+        full happens-before structure of the violating run.
+        """
+        from repro.checker import check_causal
+        from repro.obs.collector import TraceCollector
+
+        collector = TraceCollector()
+        max_drops = sum(1 for kind, _ in self.trace if kind == "d")
+        run = ControlledRun(
+            self.spec, max_drops=max_drops, collector=collector
+        )
+        for step, action in enumerate(self.trace):
+            if run.crashed is not None:
+                break
+            run.apply(action)
+        if run.crashed is None:
+            check_causal(run.cluster.history(), obs=collector)
+        return dc_replace(
+            self, events=tuple(collector.to_jsonable())
+        )
+
+    def causal_trace_events(self):
+        """The embedded trace as TraceEvent objects (empty list if none)."""
+        from repro.obs.events import TraceEvent
+
+        return [TraceEvent.from_jsonable(item) for item in self.events]
 
     # ------------------------------------------------------------------
     # JSON round-trip
@@ -81,12 +123,13 @@ class Counterexample:
             "description": self.description,
             "history": self.history_text,
             "verdicts": dict(self.verdicts),
+            "events": [dict(event) for event in self.events],
         }
 
     @classmethod
     def from_jsonable(cls, data: Dict[str, Any]) -> "Counterexample":
         version = data.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in (1, FORMAT_VERSION):
             raise McError(f"unsupported counterexample format {version!r}")
         trace = tuple(
             (kind, _key_from_json(key)) for kind, key in data["trace"]
@@ -99,6 +142,7 @@ class Counterexample:
             description=data["description"],
             history_text=data.get("history", ""),
             verdicts=dict(data.get("verdicts", {})),
+            events=tuple(data.get("events", ())),
         )
 
     def save(self, path) -> None:

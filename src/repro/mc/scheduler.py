@@ -88,7 +88,7 @@ def _program_process(api, ops):
 class ControlledRun:
     """One program execution driven action-by-action by an explorer."""
 
-    def __init__(self, spec: ProgramSpec, max_drops: int = 0):
+    def __init__(self, spec: ProgramSpec, max_drops: int = 0, collector=None):
         self.spec = spec
         self.max_drops = max_drops
         namespace = None
@@ -103,6 +103,8 @@ class ControlledRun:
             initial_value=spec.initial_value,
             record_history=True,
         )
+        if collector is not None:
+            self.cluster.attach_obs(collector)
         self._proc_of_task: Dict[str, int] = {}
         self.tasks = []
         for proc, ops in enumerate(spec.processes):

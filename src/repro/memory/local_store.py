@@ -111,6 +111,8 @@ class LocalStore:
         self.discard_count = 0
         self.sweeps_performed = 0
         self.sweeps_skipped = 0
+        #: Attached TraceCollector, or None (all emits are guarded).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -171,6 +173,12 @@ class LocalStore:
     def put(self, location: str, entry: MemoryEntry) -> None:
         """Install a value (a local write, a reply, or a serviced WRITE)."""
         self._install(location, entry)
+        if self.obs is not None:
+            self.obs.emit(
+                "store", "apply", node=self.node_id, clock=entry.stamp,
+                location=location, writer=entry.writer,
+                owned=self.owns(location),
+            )
 
     def invalidate(self, location: str) -> None:
         """Set ``M_i[location] := bottom``.  Owned locations never can be."""
@@ -181,6 +189,11 @@ class LocalStore:
             )
         if location in self._entries:
             self._remove_cached(location, invalidation=True)
+            if self.obs is not None:
+                self.obs.emit(
+                    "store", "invalidate", node=self.node_id,
+                    location=location,
+                )
 
     def invalidate_older_than(
         self,
@@ -245,6 +258,10 @@ class LocalStore:
             )
         if location in self._entries:
             self._remove_cached(location, invalidation=False)
+            if self.obs is not None:
+                self.obs.emit(
+                    "store", "discard", node=self.node_id, location=location,
+                )
             return True
         return False
 
@@ -253,6 +270,10 @@ class LocalStore:
         cached = list(self._cached)
         for location in cached:
             self._remove_cached(location, invalidation=False)
+        if self.obs is not None and cached:
+            self.obs.emit(
+                "store", "discard_all", node=self.node_id, count=len(cached),
+            )
         return len(cached)
 
     # ------------------------------------------------------------------

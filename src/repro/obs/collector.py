@@ -1,0 +1,149 @@
+"""The :class:`TraceCollector` — the single sink all emit sites feed.
+
+Attachment model (the zero-overhead contract):
+
+* every instrumented component (:class:`~repro.sim.kernel.Simulator`,
+  :class:`~repro.sim.network.Network`, protocol nodes, stores, the
+  codec, the checker) carries an ``obs`` attribute that is **None by
+  default**;
+* every emit site is guarded — ``if self.obs is not None: self.obs.emit(...)``
+  — so a detached run costs one attribute load and an identity test per
+  site, allocates nothing, and formats nothing;
+* :meth:`repro.protocols.base.DSMCluster.attach_obs` binds one collector
+  to every component of a cluster in one call.
+
+``emit`` stamps each record with the simulated time (from the bound
+simulator unless overridden) and a collector-wide sequence number, and
+auto-counts ``category.name`` in the attached
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Receives typed trace events and aggregates metrics.
+
+    Parameters
+    ----------
+    metrics:
+        Registry to aggregate into; a fresh one is created by default.
+    keep_events:
+        With False, only metrics accumulate (long benchmark runs that
+        want counters without an unbounded event list).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        keep_events: bool = True,
+    ):
+        self.events: List[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.keep_events = keep_events
+        self._seq = 0
+        self._sim = None
+
+    def bind(self, sim) -> None:
+        """Use ``sim.now`` as the default timestamp for emits."""
+        self._sim = sim
+
+    # ------------------------------------------------------------------
+    # The emit path (called only from behind ``obs is not None`` guards)
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        category: str,
+        name: str,
+        *,
+        node: Optional[int] = None,
+        clock: Optional[object] = None,
+        time: Optional[float] = None,
+        dur: float = 0.0,
+        **args: Any,
+    ) -> TraceEvent:
+        """Record one event; returns it (tests assert on the object).
+
+        ``clock`` accepts a :class:`~repro.clocks.VectorClock` or a bare
+        component tuple; it is normalised to a tuple so events compare
+        and serialise without importing the clocks package.
+        """
+        if time is None:
+            time = self._sim.now if self._sim is not None else 0.0
+        if clock is not None:
+            clock = tuple(getattr(clock, "components", clock))
+        self._seq += 1
+        event = TraceEvent(
+            seq=self._seq,
+            time=time,
+            category=category,
+            name=name,
+            node=node,
+            clock=clock,
+            dur=dur,
+            args=args,
+        )
+        if self.keep_events:
+            self.events.append(event)
+        self.metrics.counter(f"{category}.{name}").inc()
+        return event
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        """Events matching every given filter, in emission order."""
+        return [
+            event
+            for event in self.events
+            if (category is None or event.category == category)
+            and (name is None or event.name == name)
+            and (node is None or event.node == node)
+        ]
+
+    def causal_events(self) -> List[TraceEvent]:
+        """The clock-bearing events — the causal DAG's vertex set."""
+        return [event for event in self.events if event.clock is not None]
+
+    def counts(self) -> Dict[Tuple[str, str], int]:
+        """(category, name) -> occurrence count."""
+        out: Dict[Tuple[str, str], int] = {}
+        for event in self.events:
+            key = (event.category, event.name)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """Every event as a plain dict, in emission order."""
+        return [event.to_jsonable() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, payload: Iterable[Dict[str, Any]]) -> "TraceCollector":
+        """Rebuild a collector (events only) from serialised records."""
+        collector = cls()
+        collector.events = [TraceEvent.from_jsonable(item) for item in payload]
+        if collector.events:
+            collector._seq = max(event.seq for event in collector.events)
+        return collector
+
+    def clear(self) -> None:
+        """Drop events (metrics keep accumulating)."""
+        self.events.clear()

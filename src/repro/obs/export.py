@@ -1,0 +1,249 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, causal DAG, timeline.
+
+Three views of one trace:
+
+* :func:`to_chrome_trace` renders the event list in the Chrome
+  ``trace_event`` JSON format (load it at ``chrome://tracing`` or
+  https://ui.perfetto.dev): one process lane per node, one thread lane
+  per category, message sends as duration slices spanning their flight
+  time.  :func:`validate_chrome_trace` checks the output against the
+  format's structural rules — hand-written, because the container may
+  not ship a JSON-Schema library, and CI runs it on every smoke trace.
+* :func:`to_causal_dag` rebuilds the happens-before DAG from the events'
+  vector clocks: event ``u`` precedes ``v`` iff ``u`` was emitted first
+  and ``u``'s clock is componentwise <= ``v``'s.  The exported edge set
+  is the transitive reduction (each vertex keeps only its maximal
+  predecessors); :func:`dag_reachable` answers path queries on it, and
+  :func:`to_dot` renders Graphviz source.
+* :func:`format_timeline` prints a human-readable per-line log for
+  terminal debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.events import TraceEvent
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "to_causal_dag",
+    "dag_reachable",
+    "to_dot",
+    "format_timeline",
+]
+
+#: Chrome trace_event phases the exporter produces / validator accepts.
+_KNOWN_PHASES = frozenset("XiBEbensfM")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Render events in the Chrome ``trace_event`` JSON object format.
+
+    Simulated time units map to microseconds (x1000, so sub-unit
+    latencies stay visible); ``pid`` is the emitting node (-1 for global
+    events), ``tid`` the category lane.  Events with a duration (message
+    flights) become complete slices (``ph: "X"``); everything else is an
+    instant (``ph: "i"``).
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        pid = event.node if event.node is not None else -1
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category,
+            "ts": event.time * 1000.0,
+            "pid": pid,
+            "tid": event.category,
+        }
+        args = dict(event.args)
+        if event.clock is not None:
+            args["clock"] = list(event.clock)
+        if args:
+            record["args"] = args
+        if event.dur > 0:
+            record["ph"] = "X"
+            record["dur"] = event.dur * 1000.0
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Structurally validate Chrome-trace JSON; raises :class:`ReproError`.
+
+    Accepts a dict (object format), a JSON string, or a list (array
+    format).  Checks the rules chrome://tracing actually enforces:
+    ``traceEvents`` is a list of objects, each with a string ``name``, a
+    known one-character ``ph``, a numeric non-negative ``ts``, ``pid``
+    and ``tid`` present, and a non-negative numeric ``dur`` on complete
+    ("X") slices.
+    """
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"chrome trace is not valid JSON: {error}") from error
+    if isinstance(payload, list):
+        payload = {"traceEvents": payload}
+    if not isinstance(payload, dict):
+        raise ReproError(f"chrome trace must be an object, got {type(payload)}")
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ReproError("chrome trace has no 'traceEvents' list")
+    for index, record in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            raise ReproError(f"{where} is not an object")
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            raise ReproError(f"{where} lacks a non-empty string 'name'")
+        phase = record.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            raise ReproError(f"{where} has unknown phase {phase!r}")
+        if phase != "M":  # metadata records carry no timestamp
+            ts = record.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ReproError(f"{where} has invalid 'ts' {ts!r}")
+        for key in ("pid", "tid"):
+            if key not in record:
+                raise ReproError(f"{where} lacks '{key}'")
+        if phase == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ReproError(f"{where} ('X' slice) has invalid 'dur' {dur!r}")
+
+
+# ----------------------------------------------------------------------
+# Causal DAG (happens-before from vector clocks)
+# ----------------------------------------------------------------------
+def _leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Componentwise <= — the vector-clock happens-before-or-equal test."""
+    if len(a) != len(b):
+        return False
+    return all(x <= y for x, y in zip(a, b))
+
+
+def to_causal_dag(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Build the happens-before DAG over the clock-bearing events.
+
+    ``u`` happens-before ``v`` iff ``u.seq < v.seq`` (emitted first) and
+    ``u.clock <= v.clock`` componentwise.  Emission order is consistent
+    with causality inside the single-threaded simulator, so the seq test
+    only breaks the tie between events with *equal* clocks (same node,
+    same instant) in their real order; concurrent events (incomparable
+    clocks) get no edge in either direction.
+
+    The exported edges are the transitive reduction: ``v`` lists only
+    its maximal predecessors.  Reachability — the full happens-before
+    relation — is preserved and queryable via :func:`dag_reachable`.
+    """
+    vertices = [event for event in events if event.clock is not None]
+    nodes = [
+        {
+            "id": event.seq,
+            "t": event.time,
+            "cat": event.category,
+            "name": event.name,
+            "node": event.node,
+            "clock": list(event.clock),
+            "args": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in event.args.items()
+            },
+        }
+        for event in vertices
+    ]
+    edges: List[Tuple[int, int]] = []
+    for j, v in enumerate(vertices):
+        predecessors = [
+            u for u in vertices[:j] if _leq(u.clock, v.clock)
+        ]
+        # Keep only maximal predecessors: u is dropped when another
+        # predecessor w already happens-after u (the u -> v edge is then
+        # implied by u -> w -> v).
+        for i, u in enumerate(predecessors):
+            dominated = any(
+                u.seq < w.seq and _leq(u.clock, w.clock)
+                for w in predecessors[i + 1:]
+            )
+            if not dominated:
+                edges.append((u.seq, v.seq))
+    return {"nodes": nodes, "edges": [list(edge) for edge in edges]}
+
+
+def dag_reachable(dag: Dict[str, Any], src: int, dst: int) -> bool:
+    """True iff ``src`` happens-before ``dst`` in the exported DAG."""
+    if src == dst:
+        return True
+    adjacency: Dict[int, List[int]] = {}
+    for u, v in dag["edges"]:
+        adjacency.setdefault(u, []).append(v)
+    frontier = deque([src])
+    seen = {src}
+    while frontier:
+        here = frontier.popleft()
+        for successor in adjacency.get(here, ()):
+            if successor == dst:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False
+
+
+def to_dot(dag: Dict[str, Any]) -> str:
+    """Graphviz source for a causal DAG (``dot -Tsvg`` renders it)."""
+    lines = [
+        "digraph causal {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=10, fontname="monospace"];',
+    ]
+    for node in dag["nodes"]:
+        where = f"P{node['node']}" if node["node"] is not None else "global"
+        clock = ",".join(str(c) for c in node["clock"])
+        label = (
+            f"{node['cat']}.{node['name']}\\n{where} t={node['t']:g} "
+            f"vt=[{clock}]"
+        )
+        lines.append(f'  n{node["id"]} [label="{label}"];')
+    for u, v in dag["edges"]:
+        lines.append(f"  n{u} -> n{v};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Human-readable timeline
+# ----------------------------------------------------------------------
+def format_timeline(
+    events: Iterable[TraceEvent], limit: Optional[int] = None
+) -> str:
+    """One line per event: time, lane, node, name, clock, args."""
+    lines: List[str] = []
+    for event in events:
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... (truncated at {limit} events)")
+            break
+        where = f"P{event.node}" if event.node is not None else "--"
+        clock = (
+            "[" + ",".join(str(c) for c in event.clock) + "]"
+            if event.clock is not None
+            else ""
+        )
+        args = " ".join(f"{key}={value!r}" for key, value in event.args.items())
+        dur = f" dur={event.dur:g}" if event.dur else ""
+        lines.append(
+            f"t={event.time:9.3f}  {event.category:<6} {where:<4} "
+            f"{event.name:<16} {clock:<14}{dur} {args}".rstrip()
+        )
+    return "\n".join(lines)

@@ -247,6 +247,13 @@ class AtomicOwnerNode(DSMNode):
         self._active_writes[location] = job
         targets = self._copyset.get(location, set()) - {self.node_id, job.writer}
         job.awaiting = set(targets)
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "inv.round", node=self.node_id,
+                clock=_identity_stamp(self.n_nodes, job.writer, job.seq),
+                location=location, writer=job.writer,
+                targets=sorted(targets),
+            )
         if not targets:
             self._finish_write(location)
             return
@@ -283,6 +290,11 @@ class AtomicOwnerNode(DSMNode):
             stamp=_identity_stamp(self.n_nodes, job.writer, job.seq),
             writer=job.writer,
         )
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.write.done", node=self.node_id,
+                clock=entry.stamp, location=location, writer=job.writer,
+            )
         self.store.put(location, entry)
         self._notify_watchers(location, job.value)
         if job.writer == self.node_id:

@@ -98,6 +98,8 @@ class DSMNode:
         self.stats = OpStats()
         self._request_ids = itertools.count(1)
         self._watchers: Dict[str, List[Tuple[Callable[[Any], bool], Future]]] = {}
+        #: Attached TraceCollector, or None (all emits are guarded).
+        self.obs = None
         network.register(node_id, self.handle_message)
 
     # ------------------------------------------------------------------
@@ -369,6 +371,30 @@ class DSMCluster:
                 for i in range(self.n_nodes)
             ]
         raise ProtocolError(f"unknown protocol {protocol!r}")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_obs(self, collector) -> None:
+        """Attach one TraceCollector to every layer of this cluster.
+
+        Binds the collector to the kernel clock and sets the ``obs``
+        attribute on the kernel, the network (and its codec, if any),
+        every node and its store, and the central server when present.
+        Detached components keep ``obs = None`` and pay nothing — see
+        DESIGN.md Section 4.7.
+        """
+        collector.bind(self.sim)
+        self.sim.obs = collector
+        self.network.obs = collector
+        if self.network.codec is not None:
+            self.network.codec.obs = collector
+        for node in self.nodes:
+            node.obs = collector
+            node.store.obs = collector
+        if self.server is not None:
+            self.server.obs = collector
+            self.server.store.obs = collector
 
     # ------------------------------------------------------------------
     # Running applications

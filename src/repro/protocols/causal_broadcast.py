@@ -84,6 +84,11 @@ class CausalBroadcastNode(DSMNode):
         self.stats.reads += 1
         self.stats.local_read_hits += 1
         entry = self._entry(location)
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.read", node=self.node_id, clock=self.delivered,
+                location=location, hit=True,
+            )
         self._record_read(location, entry)
         future = Future(label=f"bread:{self.node_id}:{location}")
         future.resolve(entry.value)
@@ -95,6 +100,12 @@ class CausalBroadcastNode(DSMNode):
         self.stats.local_writes += 1
         self.delivered = self.delivered.increment(self.node_id)
         stamp = self.delivered
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.write", node=self.node_id, clock=stamp,
+                location=location,
+                mode="batched" if self.batching else "broadcast",
+            )
         entry = MemoryEntry(value=value, stamp=stamp, writer=self.node_id)
         self._replica[location] = entry
         self._notify_watchers(location, value)
@@ -113,6 +124,11 @@ class CausalBroadcastNode(DSMNode):
             # the batched delivery rule is built to jump.
             if location in self._wb_window:
                 self.wb_coalesced += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "proto", "wb.coalesce", node=self.node_id,
+                        clock=stamp, location=location,
+                    )
             self._wb_window[location] = message
             self._wb_writes_seen += 1
             if not self._wb_flush_scheduled:
@@ -162,6 +178,14 @@ class CausalBroadcastNode(DSMNode):
         self._wb_window = {}
         self.wb_batches += 1
         self.wb_batched_writes += len(survivors)
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "wb.flush", node=self.node_id, clock=self.delivered,
+                writes=len(survivors),
+            )
+            self.obs.metrics.histogram("wb.batch_occupancy").observe(
+                len(survivors)
+            )
         batch = BroadcastBatch(sender=self.node_id, writes=tuple(survivors))
         for target in range(self.n_nodes):
             if target != self.node_id:
@@ -230,6 +254,11 @@ class CausalBroadcastNode(DSMNode):
 
     def _apply(self, msg: BroadcastWrite) -> None:
         self.delivered = self.delivered.update(msg.stamp)
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "bc.apply", node=self.node_id, clock=msg.stamp,
+                location=msg.location, sender=msg.sender,
+            )
         entry = MemoryEntry(value=msg.value, stamp=msg.stamp, writer=msg.sender)
         # The naive design: delivery order decides, even between
         # concurrent writes — this is precisely what breaks causal

@@ -195,9 +195,20 @@ class CausalOwnerNode(DSMNode):
             assert entry is not None
             self.stats.local_read_hits += 1
             self._record_read(location, entry)
+            if self.obs is not None:
+                self.obs.emit(
+                    "proto", "op.read", node=self.node_id, clock=self.vt,
+                    location=location, hit=True,
+                )
             future.resolve(entry.value)
             return future
         self.stats.remote_reads += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.read", node=self.node_id, clock=self.vt,
+                location=location, hit=False,
+                owner=self.namespace.owner(location),
+            )
         if self.batching:
             # A read miss is a flush point: push queued writes out now so
             # the owner (FIFO channel) certifies them before serving us.
@@ -223,6 +234,15 @@ class CausalOwnerNode(DSMNode):
         """Write ``location``; local if owned, certified by the owner if not."""
         self.stats.writes += 1
         self.vt = self.vt.increment(self.node_id)
+        if self.obs is not None:
+            mode = (
+                "local" if self.store.owns(location)
+                else ("batched" if self.batching else "remote")
+            )
+            self.obs.emit(
+                "proto", "op.write", node=self.node_id, clock=self.vt,
+                location=location, mode=mode,
+            )
         future = Future(label=f"write:{self.node_id}:{location}")
         if self.store.owns(location):
             entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
@@ -314,6 +334,12 @@ class CausalOwnerNode(DSMNode):
                 # queue along, serve after the drain.
                 self.wb_deferred_read_count += 1
                 self._wb_deferred_reads.append((src, message))
+                if self.obs is not None:
+                    self.obs.emit(
+                        "proto", "wb.defer_read", node=self.node_id,
+                        clock=self.vt, location=message.location,
+                        requester=src,
+                    )
                 self._wb_flush()
             else:
                 self._serve_read(src, message)
@@ -392,7 +418,21 @@ class CausalOwnerNode(DSMNode):
         else:
             # forall y in C_i : M_i[y].VT < VT'  =>  M_i[y] := bottom
             installed = [payload.location for payload in msg.entries]
-            self.store.invalidate_older_than(msg.stamp, keep=installed)
+            swept = self.store.invalidate_older_than(msg.stamp, keep=installed)
+            if self.obs is not None and swept:
+                # The triggering write is the requested payload's: its
+                # (writer, own-component) pair names the write whose
+                # arrival forced stale cached values out.
+                requested = next(
+                    p for p in msg.entries if p.location == location
+                )
+                self.obs.emit(
+                    "proto", "inv.sweep", node=self.node_id, clock=self.vt,
+                    invalidated=swept, cause="read_reply",
+                    trigger=[requested.writer,
+                             requested.stamp[requested.writer]]
+                    if requested.writer >= 0 else None,
+                )
             for payload in msg.entries:
                 if self.batching and self._tentative_is_newer(
                     payload.location, payload.stamp
@@ -418,6 +458,10 @@ class CausalOwnerNode(DSMNode):
                 f"R_REPLY for {location!r} did not contain the location"
             )
         self.stats.blocked_time += self.sim.now - started
+        if self.obs is not None:
+            self.obs.metrics.histogram("read_miss.round_trip").observe(
+                self.sim.now - started
+            )
         self._record_read(location, requested_entry)
         future.resolve(requested_entry.value)
 
@@ -450,7 +494,13 @@ class CausalOwnerNode(DSMNode):
             self.store.put(msg.location, entry)
             self._notify_watchers(msg.location, msg.value)
             # forall y in C_i : M_i[y].VT < VT_i  =>  M_i[y] := bottom
-            self.store.invalidate_older_than(self.vt)
+            swept = self.store.invalidate_older_than(self.vt)
+            if self.obs is not None and swept:
+                self.obs.emit(
+                    "proto", "inv.sweep", node=self.node_id, clock=self.vt,
+                    invalidated=swept, cause="serve_write",
+                    trigger=[src, msg.stamp[src]],
+                )
             self.network.send(
                 self.node_id,
                 src,
@@ -529,7 +579,17 @@ class CausalOwnerNode(DSMNode):
             writer=msg.current.writer,
         )
         if not self.no_cache:
-            self.store.invalidate_older_than(survivor.stamp, keep=[location])
+            swept = self.store.invalidate_older_than(
+                survivor.stamp, keep=[location]
+            )
+            if self.obs is not None and swept:
+                self.obs.emit(
+                    "proto", "inv.sweep", node=self.node_id, clock=self.vt,
+                    invalidated=swept, cause="write_rejected",
+                    trigger=[survivor.writer,
+                             survivor.stamp[survivor.writer]]
+                    if survivor.writer >= 0 else None,
+                )
             self.store.put(location, survivor)
             self._notify_watchers(location, survivor.value)
         future.resolve(
@@ -594,6 +654,11 @@ class CausalOwnerNode(DSMNode):
                     run.writes.append(_QueuedWrite(location, value, stamp, seq))
                     run.seqs.append(seq)
                     self.wb_coalesced += 1
+                    if self.obs is not None:
+                        self.obs.emit(
+                            "proto", "wb.coalesce", node=self.node_id,
+                            clock=stamp, location=location,
+                        )
                     return
             run.writes.append(_QueuedWrite(location, value, stamp, seq))
             run.seqs.append(seq)
@@ -653,6 +718,14 @@ class CausalOwnerNode(DSMNode):
         self._wb_outstanding = run
         self.wb_batches += 1
         self.wb_batched_writes += len(run.writes)
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "wb.flush", node=self.node_id, clock=self.vt,
+                owner=run.owner, writes=len(run.writes),
+            )
+            self.obs.metrics.histogram("wb.batch_occupancy").observe(
+                len(run.writes)
+            )
         self.network.send(
             self.node_id,
             run.owner,
@@ -723,7 +796,13 @@ class CausalOwnerNode(DSMNode):
             entry = MemoryEntry(value=msg.value, stamp=stamp, writer=src)
             self.store.put(msg.location, entry)
             self._notify_watchers(msg.location, msg.value)
-            self.store.invalidate_older_than(self.vt)
+            swept = self.store.invalidate_older_than(self.vt)
+            if self.obs is not None and swept:
+                self.obs.emit(
+                    "proto", "inv.sweep", node=self.node_id, clock=self.vt,
+                    invalidated=swept, cause="serve_batch",
+                    trigger=[src, msg.stamp[src]],
+                )
             return BatchedWriteReply(location=msg.location, stamp=stamp)
         if (
             current.writer == self.node_id
@@ -758,6 +837,11 @@ class CausalOwnerNode(DSMNode):
             )
         self._wb_outstanding = None
         self.vt = self.vt.update(msg.stamp)
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "wb.ack", node=self.node_id, clock=self.vt,
+                writes=len(run.writes),
+            )
         for queued, sub in zip(run.writes, msg.replies):
             self.vt = self.vt.update(sub.stamp)
             if sub.applied:
@@ -803,9 +887,17 @@ class CausalOwnerNode(DSMNode):
                 stamp=sub.current.stamp,
                 writer=sub.current.writer,
             )
-            self.store.invalidate_older_than(
+            swept = self.store.invalidate_older_than(
                 survivor.stamp, keep=[queued.location]
             )
+            if self.obs is not None and swept:
+                self.obs.emit(
+                    "proto", "inv.sweep", node=self.node_id, clock=self.vt,
+                    invalidated=swept, cause="batch_rejected",
+                    trigger=[survivor.writer,
+                             survivor.stamp[survivor.writer]]
+                    if survivor.writer >= 0 else None,
+                )
             self.store.put(queued.location, survivor)
             self._notify_watchers(queued.location, survivor.value)
         for seq in run.seqs:

@@ -51,6 +51,12 @@ class CentralServerNode(DSMNode):
         if isinstance(message, CentralRead):
             entry = self.store.get(message.location)
             assert entry is not None
+            if self.obs is not None:
+                self.obs.emit(
+                    "proto", "serve.read", node=self.node_id,
+                    clock=entry.stamp, location=message.location,
+                    requester=src,
+                )
             self.network.send(
                 self.node_id,
                 src,
@@ -70,6 +76,11 @@ class CentralServerNode(DSMNode):
             )
             self.store.put(message.location, entry)
             self._notify_watchers(message.location, message.value)
+            if self.obs is not None:
+                self.obs.emit(
+                    "proto", "serve.write", node=self.node_id,
+                    clock=entry.stamp, location=message.location, writer=src,
+                )
             self.network.send(
                 self.node_id,
                 src,
@@ -98,6 +109,11 @@ class CentralServerClient(DSMNode):
         """Read RPC (2 messages, unconditionally)."""
         self.stats.reads += 1
         self.stats.remote_reads += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.read", node=self.node_id,
+                location=location, hit=False,
+            )
         future = Future(label=f"csread:{self.node_id}:{location}")
         request_id = self.next_request_id()
         self._pending[request_id] = (future, location, None, True, self.sim.now)
@@ -113,6 +129,12 @@ class CentralServerClient(DSMNode):
         self.stats.writes += 1
         self.stats.remote_writes += 1
         self._write_seq += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.write", node=self.node_id,
+                clock=_identity_stamp(self.n_nodes, self.node_id, self._write_seq),
+                location=location, mode="rpc",
+            )
         future = Future(label=f"cswrite:{self.node_id}:{location}")
         request_id = self.next_request_id()
         self._pending[request_id] = (future, location, value, False, self.sim.now)

@@ -376,6 +376,12 @@ class LiHudakNode(DSMNode):
                 return
             state = self._owned.pop(location)
             self._prob_owner[location] = msg.requester
+            if self.obs is not None:
+                self.obs.emit(
+                    "proto", "own.grant", node=self.node_id,
+                    clock=state.entry.stamp, location=location,
+                    to=msg.requester,
+                )
             self.network.send(
                 self.node_id,
                 msg.requester,
@@ -401,6 +407,11 @@ class LiHudakNode(DSMNode):
 
     def _on_grant(self, msg: MigGrant) -> None:
         location = msg.location
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "own.transfer", node=self.node_id,
+                clock=msg.stamp, location=location,
+            )
         self._prob_owner[location] = self.node_id
         self._owned[location] = _OwnedState(
             entry=MemoryEntry(
@@ -412,6 +423,11 @@ class LiHudakNode(DSMNode):
 
     # -- invalidation ------------------------------------------------------
     def _on_invalidate(self, src: int, msg: MigInvalidate) -> None:
+        if self.obs is not None and msg.location in self._cache:
+            self.obs.emit(
+                "proto", "inv.cache", node=self.node_id,
+                location=msg.location, owner=src,
+            )
         self._cache.pop(msg.location, None)
         self.network.send(
             self.node_id,

@@ -629,6 +629,8 @@ class WireCodec:
         self.stamps_full = 0
         self.entries_carried = 0
         self.entries_saved = 0
+        #: Attached TraceCollector, or None (all emits are guarded).
+        self.obs = None
 
     # -- channel state -------------------------------------------------
     def _sender(self, src: int, dst: int) -> _ChannelState:
@@ -653,12 +655,16 @@ class WireCodec:
         state = self._send_state.get((src, dst))
         if state is not None:
             state.basis = None
+            if self.obs is not None:
+                self.obs.emit("net", "resync", src=src, dst=dst)
 
     def mark_node_dirty(self, node_id: int) -> None:
         """Dirty every channel to or from ``node_id`` (crash handling)."""
         for (src, dst), state in self._send_state.items():
             if src == node_id or dst == node_id:
                 state.basis = None
+        if self.obs is not None:
+            self.obs.emit("net", "resync.node", node=node_id)
 
     # -- encode / decode -----------------------------------------------
     def encode(self, src: int, dst: int, message: object) -> EncodedMessage:

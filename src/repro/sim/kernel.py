@@ -137,6 +137,10 @@ class Simulator:
         self._cancelled_skips = 0
         self._compactions = 0
         self._running = False
+        #: Attached TraceCollector, or None.  The bare ``run()`` fast
+        #: path branches on this ONCE before its loop, so a detached run
+        #: executes byte-identical bytecode to the pre-obs kernel.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -256,8 +260,30 @@ class Simulator:
         queue = self._queue
         try:
             if until is None and max_events is None:
-                # Fast path for the by-far common bare ``run()``: no
-                # budget or horizon checks inside the event loop.
+                obs = self.obs
+                if obs is None:
+                    # Fast path for the by-far common bare ``run()``: no
+                    # budget or horizon checks inside the event loop, and
+                    # — the zero-overhead-when-disabled guarantee — no
+                    # per-event obs test either.
+                    while queue:
+                        time, _, event = heappop(queue)
+                        event._in_heap = False
+                        if event.cancelled:
+                            self._cancelled_in_queue -= 1
+                            self._cancelled_skips += 1
+                            continue
+                        if time < self.now:
+                            raise SimulationError(
+                                "event queue produced a time in the past"
+                            )
+                        self.now = time
+                        self._events_processed += 1
+                        event.callback()
+                    return
+                # Instrumented twin of the loop above: identical
+                # semantics, plus a scheduling-decision event for every
+                # tagged (externally meaningful) event executed.
                 while queue:
                     time, _, event = heappop(queue)
                     event._in_heap = False
@@ -271,6 +297,8 @@ class Simulator:
                         )
                     self.now = time
                     self._events_processed += 1
+                    if event.tag is not None:
+                        obs.emit("kernel", "execute", time=time, tag=event.tag)
                     event.callback()
                 return
             while queue:
@@ -294,6 +322,8 @@ class Simulator:
                     raise SimulationError("event queue produced a time in the past")
                 self.now = time
                 self._events_processed += 1
+                if self.obs is not None and event.tag is not None:
+                    self.obs.emit("kernel", "execute", time=time, tag=event.tag)
                 event.callback()
                 executed += 1
             if until is not None and until > self.now:
@@ -339,6 +369,11 @@ class Simulator:
         if event.time > self.now:
             self.now = event.time
         self._events_processed += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "kernel", "choose", time=self.now,
+                tag=event.tag, scheduled_at=event.time,
+            )
         event.callback()
 
     # ------------------------------------------------------------------
@@ -370,6 +405,8 @@ class Simulator:
             raise SimulationError("event queue produced a time in the past")
         self.now = head.time
         self._events_processed += 1
+        if self.obs is not None and head.tag is not None:
+            self.obs.emit("kernel", "execute", time=head.time, tag=head.tag)
         head.callback()
 
     def _note_cancelled(self) -> None:

@@ -89,6 +89,8 @@ class Network:
         self._drop_rate: float = 0.0
         self._seq = 0
         self._rng = sim.derived_rng("network")
+        #: Attached TraceCollector, or None (all emits are guarded).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -112,17 +114,29 @@ class Network:
         self._partitioned.add((src, dst))
         if bidirectional:
             self._partitioned.add((dst, src))
+        if self.obs is not None:
+            self.obs.emit(
+                "fault", "partition.open",
+                src=src, dst=dst, bidirectional=bidirectional,
+            )
 
     def heal(self, src: int, dst: int, bidirectional: bool = True) -> None:
         """Undo :meth:`partition` for the given link(s)."""
         self._partitioned.discard((src, dst))
         if bidirectional:
             self._partitioned.discard((dst, src))
+        if self.obs is not None:
+            self.obs.emit(
+                "fault", "partition.close",
+                src=src, dst=dst, bidirectional=bidirectional,
+            )
 
     def heal_all(self) -> None:
         """Remove every partition and crash."""
         self._partitioned.clear()
         self._crashed.clear()
+        if self.obs is not None:
+            self.obs.emit("fault", "heal_all")
 
     def crash(self, node_id: int) -> None:
         """Drop all messages to and from ``node_id``."""
@@ -131,12 +145,16 @@ class Network:
             # In-flight messages to the node will be lost on arrival;
             # restart every affected delta chain from a full stamp.
             self.codec.mark_node_dirty(node_id)
+        if self.obs is not None:
+            self.obs.emit("fault", "crash", node=node_id)
 
     def set_drop_rate(self, rate: float) -> None:
         """Drop each message independently with probability ``rate``."""
         if not 0.0 <= rate <= 1.0:
             raise NetworkError(f"drop rate must be in [0, 1], got {rate}")
         self._drop_rate = rate
+        if self.obs is not None:
+            self.obs.emit("fault", "drop_rate", rate=rate)
 
     # ------------------------------------------------------------------
     # Sending
@@ -170,12 +188,26 @@ class Network:
                 # The receiver will never see this message, so the delta
                 # basis diverges: restart the chain from a full stamp.
                 self.codec.mark_dirty(src, dst)
+            # Dropped sends still consumed the sender's bandwidth: charge
+            # the undeltaed wire cost (the codec never saw the message,
+            # so no delta basis advanced).
+            cost_fn = self._cost_table.get(type(message))
+            if cost_fn is not None:
+                nbytes, stamp_entries = cost_fn(message)
+            else:
+                nbytes, stamp_entries = self._measure(message)
             record = MessageRecord(
                 seq=seq, src=src, dst=dst, kind=kind, payload=message,
                 sent_at=now, delivered_at=float("inf"), dropped=True,
+                byte_size=nbytes, stamp_entries=stamp_entries,
             )
             self.stats.record(record)
             self.trace.record(record)
+            if self.obs is not None:
+                self.obs.emit(
+                    "net", "drop", node=src,
+                    kind=kind, src=src, dst=dst, bytes=nbytes,
+                )
             return
 
         if self.codec is not None:
@@ -221,6 +253,12 @@ class Network:
                 sent_at=now, delivered_at=deliver_at, dropped=False,
                 byte_size=nbytes, stamp_entries=stamp_entries,
             ))
+        if self.obs is not None:
+            # The flight is a span: ts = send time, dur = time on the wire.
+            self.obs.emit(
+                "net", "send", node=src, dur=deliver_at - now,
+                kind=kind, src=src, dst=dst, bytes=nbytes,
+            )
         self.sim.schedule_at(
             deliver_at,
             lambda: self._deliver(src, dst, payload),
@@ -233,7 +271,16 @@ class Network:
             # delta basis never advanced, so the channel must resync.
             if self.codec is not None:
                 self.codec.mark_dirty(src, dst)
+            if self.obs is not None:
+                kind = getattr(payload, "kind", type(payload).__name__)
+                self.obs.emit(
+                    "net", "drop_on_arrival", node=dst,
+                    kind=kind, src=src, dst=dst,
+                )
             return
         if self.codec is not None:
             payload = self.codec.decode(src, dst, payload)
+        if self.obs is not None:
+            kind = getattr(payload, "kind", type(payload).__name__)
+            self.obs.emit("net", "deliver", node=dst, kind=kind, src=src, dst=dst)
         self._handlers[dst](src, payload)

