@@ -22,7 +22,7 @@ from repro.analysis.message_model import (
     stamp_bytes_per_message,
 )
 from repro.analysis.results import ResultDelta, ResultsStore
-from repro.analysis.tables import Table, snapshot_table
+from repro.analysis.tables import Table, histogram_table, snapshot_table
 
 __all__ = [
     "BenchRecord",
@@ -37,4 +37,5 @@ __all__ = [
     "stamp_bytes_per_message",
     "Table",
     "snapshot_table",
+    "histogram_table",
 ]

@@ -12,7 +12,7 @@ Schema (``schema`` is bumped on incompatible change; the reader accepts
 every version up to the current one)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -31,7 +31,11 @@ every version up to the current one)::
                           ...},
             "obs": {"guard_overhead": ..., "emit_overhead": ...,
                     "traced_fig4": {"trace_events": ...,
-                                     "metrics": {...}, ...}}
+                                     "metrics": {...}, ...}},
+            "monitor": {"events_per_sec": ..., "ops": ...,
+                        "attached_overhead": ..., "hook_overhead": ...,
+                        "monitor_overhead": ..., "max_window": ...,
+                        "gc_retired": ..., "cache_hit_rate": ...}
           }
         }, ...
       ]
@@ -45,6 +49,10 @@ Schema history:
   load unchanged — the section is simply absent from their runs.
 * **3** — adds the optional ``obs`` section (tracing overhead A/B and
   the traced-run metrics snapshot).  Older files load unchanged.
+* **4** — adds the optional ``monitor`` section (streaming-monitor
+  sustained throughput, attached-overhead A/B, window/GC statistics),
+  and histogram leaves gain ``p50``/``p95``/``p99`` quantiles.  v1–v3
+  files load unchanged.
 
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
@@ -70,11 +78,12 @@ from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Versions the reader understands.  Older files simply lack the
-#: optional ``bandwidth`` / ``obs`` metric sections, so they load as-is.
-SUPPORTED_SCHEMAS = (1, 2, 3)
+#: optional ``bandwidth`` / ``obs`` / ``monitor`` metric sections, so
+#: they load as-is.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Sequence
 
-__all__ = ["Table", "snapshot_table"]
+__all__ = ["Table", "snapshot_table", "histogram_table"]
 
 
 def _format_cell(value: Any) -> str:
@@ -95,6 +95,39 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def histogram_table(
+    snapshot: Any,
+    title: str = "Histograms",
+    prefix: str = "",
+) -> Table:
+    """Histogram summaries of a metrics snapshot, quantiles included.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    tree (or just its ``"histograms"`` subtree).  ``prefix`` filters by
+    name — ``histogram_table(snap, prefix="monitor.")`` renders only the
+    monitor's latency series.  Quantile columns read 0 for pre-v4
+    snapshots that never recorded samples.
+    """
+    histograms = snapshot.get("histograms", snapshot)
+    table = Table(
+        ["name", "count", "mean", "p50", "p95", "p99", "max"], title=title
+    )
+    for name in sorted(histograms):
+        if not name.startswith(prefix):
+            continue
+        data = histograms[name]
+        table.add_row(
+            name,
+            data.get("count", 0),
+            data.get("mean", 0.0),
+            data.get("p50", 0.0),
+            data.get("p95", 0.0),
+            data.get("p99", 0.0),
+            data.get("max", 0.0),
+        )
+    return table
 
 
 def snapshot_table(

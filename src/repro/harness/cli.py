@@ -92,6 +92,51 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="timeline format: show at most this many events",
     )
+    monitor = sub.add_parser(
+        "monitor",
+        help="stream a scenario (or a trace file) through the online "
+        "causal-consistency monitor",
+    )
+    monitor.add_argument(
+        "--scenario",
+        default="fig4",
+        choices=["fig3", "fig4"],
+        help="live-attach: run this traced scenario with the monitor "
+        "subscribed (default: fig4; ignored with --from-trace)",
+    )
+    monitor.add_argument(
+        "--from-trace",
+        metavar="PATH",
+        default=None,
+        help="replay an exported trace (repro trace --format json) "
+        "through the monitor instead of running a scenario",
+    )
+    monitor.add_argument(
+        "--procs",
+        type=int,
+        default=3,
+        help="--from-trace: number of processes in the trace (default: 3)",
+    )
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--gc-interval",
+        type=int,
+        default=64,
+        help="processed-op period of dominated-prefix GC (default: 64)",
+    )
+    monitor.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="exit 0 iff the monitor flags a violation (CI: fig3 must "
+        "flag, fig4 must pass)",
+    )
+    monitor.add_argument(
+        "--counterexample",
+        metavar="PATH",
+        default=None,
+        help="on violation, shrink the monitor's window to a replayable "
+        "counterexample and write it here (live scenarios only)",
+    )
     for name, factory in sorted(EXPERIMENTS.items()):
         doc = (factory.__doc__ or "").strip().splitlines()
         help_text = doc[0] if doc else name
@@ -151,6 +196,61 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    """Stream a scenario or trace through the online monitor."""
+    from repro.monitor import CausalStreamMonitor, feed_trace
+    from repro.obs.collector import TraceCollector
+
+    if args.from_trace:
+        monitor = CausalStreamMonitor(
+            args.procs, gc_interval=args.gc_interval
+        )
+        result = feed_trace(monitor, args.from_trace)
+        source = args.from_trace
+        protocol = None
+    else:
+        from repro.obs.runs import SCENARIOS
+
+        collector = TraceCollector()
+        monitor = CausalStreamMonitor(
+            3, metrics=collector.metrics, gc_interval=args.gc_interval
+        )
+        collector.subscribe(monitor.observe, category="proto", name="op.commit")
+        run = SCENARIOS[args.scenario](seed=args.seed, collector=collector)
+        result = monitor.result()
+        source = f"scenario {args.scenario}"
+        protocol = run.protocol
+    status = "CAUSAL" if result.ok else "VIOLATION"
+    print(f"{source}: {status}")
+    print(
+        f"  {result.reads_checked} reads checked over "
+        f"{result.ops_processed} ops; window peaked at "
+        f"{result.max_window} ops, {result.gc_retired} GC-retired"
+    )
+    if not result.ok:
+        print("  " + result.explain().replace("\n", "\n  "))
+    if args.counterexample and not result.ok:
+        if protocol is None:
+            print("--counterexample needs a live scenario (window replay)")
+            return 2
+        from pathlib import Path
+
+        from repro.monitor import violation_counterexample
+
+        cex = violation_counterexample(monitor, protocol=protocol, seed=args.seed)
+        if cex is None:
+            print("counterexample search exhausted its budget")
+            return 2
+        cex.save(args.counterexample)
+        print(
+            f"counterexample ({cex.n_ops} ops, format v2) -> "
+            f"{args.counterexample}"
+        )
+    if args.expect_violation:
+        return 0 if not result.ok else 1
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -178,6 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     if args.command == "all":
         from repro.analysis.results import ResultsStore
 

@@ -1,0 +1,63 @@
+"""From online violation to replayable counterexample.
+
+The monitor's job ends with a verdict; this module turns the verdict's
+*window* into an artifact.  The replay window (the last ``window_ops``
+operations per process, program order) is packaged as a
+:class:`~repro.mc.program.ProgramSpec` and handed to the explorer: a
+bounded random search re-reaches a violation of the same model, the
+shrinker minimises it, and the result is a FORMAT_VERSION-2
+:class:`~repro.mc.counterexample.Counterexample` with the causal trace
+embedded — the exact artifact ``python -m repro.mc replay`` verifies.
+
+The search is sound rather than miraculous: the window provably
+contains a violating program (the monitor just watched it violate), but
+the explorer must rediscover a schedule exhibiting it.  ``max_schedules``
+bounds that search; a ``None`` return means the budget ran out, not
+that the violation was spurious.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.monitor.monitor import CausalStreamMonitor
+
+__all__ = ["violation_counterexample"]
+
+
+def violation_counterexample(
+    monitor: CausalStreamMonitor,
+    protocol: str,
+    owners: Optional[Dict[str, int]] = None,
+    model: str = "causal",
+    seed: int = 0,
+    max_schedules: int = 2000,
+    shrink_attempts: int = 200,
+    with_trace: bool = True,
+):
+    """Search the monitor's replay window for a shrunk counterexample.
+
+    Returns a replayable :class:`Counterexample` (format version 2, with
+    the violating run's causal trace embedded when ``with_trace``), or
+    ``None`` when the window's schedule space exhausts the budget
+    without re-exhibiting a ``model`` violation.
+    """
+    from repro.mc.explore import ExploreConfig
+    from repro.mc.program import make_spec
+    from repro.mc.shrink import find_violation, shrink
+
+    spec = make_spec(
+        monitor.program_window(), protocol=protocol, owners=owners
+    )
+    config = ExploreConfig(
+        strategy="random",
+        seed=seed,
+        max_schedules=max_schedules,
+        expected_model=model,
+        stop_on_violation=True,
+    )
+    found = find_violation(spec, config)
+    if found is None or found.model != model:
+        return None
+    shrunk = shrink(found, config, max_attempts=shrink_attempts)
+    return shrunk.with_causal_trace() if with_trace else shrunk

@@ -1,0 +1,147 @@
+"""Wiring the monitor onto live clusters, trace files, and histories.
+
+Three ingestion paths, one monitor:
+
+* :func:`attach_monitor` — subscribe to a live cluster's collector (the
+  ``repro monitor`` CLI's live-attach mode).  The monitor sees each
+  ``proto.op.commit`` the instant it is emitted; the cluster also gets
+  the kernel's streaming hook pointed at the subscription so the
+  events-per-second accounting covers kernel ticks, not just
+  application ops.
+* :func:`feed_trace` — replay an exported trace file (``repro trace
+  --format json``) or an in-memory event list through the monitor.
+* :func:`feed_history` — drive the monitor from an offline
+  :class:`~repro.checker.history.History`, round-robin across processes
+  (any per-process-ordered interleaving yields the same verdicts; the
+  differential harness relies on this).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.monitor.monitor import CausalStreamMonitor, MonitorResult
+
+__all__ = [
+    "MonitorSubscription",
+    "attach_monitor",
+    "feed_trace",
+    "feed_history",
+]
+
+
+class MonitorSubscription:
+    """A monitor attached to one live collector; detachable."""
+
+    def __init__(self, monitor: CausalStreamMonitor, collector, sim=None):
+        self.monitor = monitor
+        self.collector = collector
+        self._sim = sim
+        self.kernel_events = 0
+        collector.subscribe(monitor.observe, category="proto", name="op.commit")
+        if sim is not None:
+            sim.stream = self._on_kernel_event
+
+    def _on_kernel_event(self, event) -> None:
+        # The kernel streaming hook: every executed ScheduledEvent lands
+        # here.  The monitor works purely from op.commit events, so this
+        # only counts ticks (the bench's events/sec denominator).
+        self.kernel_events += 1
+
+    def detach(self) -> None:
+        """Unsubscribe from the collector (and the kernel hook)."""
+        self.collector.unsubscribe(self.monitor.observe)
+        if self._sim is not None and self._sim.stream == self._on_kernel_event:
+            self._sim.stream = None
+
+    def result(self) -> MonitorResult:
+        return self.monitor.result()
+
+
+def attach_monitor(
+    cluster,
+    monitor: Optional[CausalStreamMonitor] = None,
+    collector=None,
+    **monitor_kwargs,
+) -> MonitorSubscription:
+    """Attach a streaming monitor to a live cluster.
+
+    Uses the cluster's already-attached collector when it has one;
+    otherwise attaches ``collector`` (or a fresh metrics-only one — the
+    monitor does not need the event list, so ``keep_events=False``
+    keeps long runs bounded).  Extra keyword arguments go to the
+    :class:`CausalStreamMonitor` constructor.
+    """
+    if cluster.obs is not None:
+        collector = cluster.obs
+    else:
+        if collector is None:
+            from repro.obs.collector import TraceCollector
+
+            collector = TraceCollector(keep_events=False)
+        cluster.attach_obs(collector)
+    if monitor is None:
+        monitor = CausalStreamMonitor(
+            cluster.n_nodes,
+            metrics=monitor_kwargs.pop("metrics", collector.metrics),
+            **monitor_kwargs,
+        )
+    return MonitorSubscription(monitor, collector, sim=cluster.sim)
+
+
+def feed_trace(
+    monitor: CausalStreamMonitor,
+    trace: Union[str, Path, Iterable],
+) -> MonitorResult:
+    """Replay a trace through the monitor and return its verdict.
+
+    ``trace`` may be a path to a ``repro trace --format json`` export, a
+    list of serialised event dicts (optionally wrapped in an object with
+    an ``"events"`` key, the counterexample layout), or an iterable of
+    :class:`~repro.obs.events.TraceEvent` objects.
+    """
+    from repro.obs.events import TraceEvent
+
+    if isinstance(trace, (str, Path)):
+        trace = json.loads(Path(trace).read_text())
+    if isinstance(trace, dict):
+        trace = trace.get("events", [])
+    for item in trace:
+        event = (
+            TraceEvent.from_jsonable(item) if isinstance(item, dict) else item
+        )
+        monitor.observe(event)
+    return monitor.result()
+
+
+def feed_history(
+    monitor: CausalStreamMonitor, history
+) -> MonitorResult:
+    """Drive the monitor from an offline history (the differential path).
+
+    Feeds round-robin, one op per process per round, preserving program
+    order within each process — the only ordering the live stream
+    guarantees.  Parking resolves cross-process reads-from ordering, so
+    any such interleaving produces identical verdicts.
+    """
+    queues: List[List] = [list(ops) for ops in history.processes]
+    cursors = [0] * len(queues)
+    remaining = sum(len(q) for q in queues)
+    while remaining:
+        for proc, queue in enumerate(queues):
+            cursor = cursors[proc]
+            if cursor >= len(queue):
+                continue
+            op = queue[cursor]
+            cursors[proc] = cursor + 1
+            remaining -= 1
+            monitor.feed_op(
+                proc=op.proc,
+                kind=op.kind,
+                location=op.location,
+                value=op.value,
+                source=op.write_id if op.is_write else op.read_from,
+            )
+    return monitor.result()

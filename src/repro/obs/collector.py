@@ -16,11 +16,19 @@ Attachment model (the zero-overhead contract):
 simulator unless overridden) and a collector-wide sequence number, and
 auto-counts ``category.name`` in the attached
 :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Streaming subscribers (the online-monitor hook): callables registered
+via :meth:`TraceCollector.subscribe` receive every event *as it is
+emitted*, in emission order, before ``emit`` returns.  The dispatch
+obeys the same zero-cost discipline as the emit guards themselves — a
+collector with no subscribers pays one truthiness test per emit, and a
+detached component pays nothing at all.  Subscribers must not emit back
+into the collector (that would reenter the event list mid-append).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import TraceEvent
 from repro.obs.metrics import MetricsRegistry
@@ -50,10 +58,55 @@ class TraceCollector:
         self.keep_events = keep_events
         self._seq = 0
         self._sim = None
+        #: (callback, category filter, name filter) triples; None matches
+        #: everything.  Filters are tested inline in :meth:`emit` so a
+        #: subscriber interested in one event kind does not pay a Python
+        #: call for every other event on the stream.
+        self._subscribers: List[
+            Tuple[Callable[[TraceEvent], None], Optional[str], Optional[str]]
+        ] = []
 
     def bind(self, sim) -> None:
         """Use ``sim.now`` as the default timestamp for emits."""
         self._sim = sim
+
+    # ------------------------------------------------------------------
+    # Streaming subscribers (the online-monitor hook)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        callback: Callable[[TraceEvent], None],
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Callable[[TraceEvent], None]:
+        """Deliver every future event to ``callback`` as it is emitted.
+
+        Returns ``callback`` so the registration reads as an expression.
+        Subscribers see events in emission order, synchronously, before
+        :meth:`emit` returns — this is how the streaming consistency
+        monitor (:mod:`repro.monitor`) observes a run *while it runs*.
+
+        ``category``/``name`` filter delivery: a subscriber that only
+        wants ``proto.op.commit`` events skips a callback invocation per
+        non-matching event (string compares in :meth:`emit` instead of a
+        Python call — the difference between the monitor riding along at
+        line rate and doubling the emit cost).
+        """
+        self._subscribers.append((callback, category, name))
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove one previously registered subscriber.
+
+        Matches by equality, not identity: every ``monitor.observe``
+        attribute access builds a fresh bound method, and bound methods
+        compare equal iff they share the function and the instance.
+        """
+        for index, entry in enumerate(self._subscribers):
+            if entry[0] == callback:
+                del self._subscribers[index]
+                return
+        raise ValueError(f"{callback!r} is not a subscriber")
 
     # ------------------------------------------------------------------
     # The emit path (called only from behind ``obs is not None`` guards)
@@ -93,6 +146,12 @@ class TraceCollector:
         if self.keep_events:
             self.events.append(event)
         self.metrics.counter(f"{category}.{name}").inc()
+        if self._subscribers:
+            for callback, category_filter, name_filter in self._subscribers:
+                if (category_filter is None or category_filter == category) and (
+                    name_filter is None or name_filter == name
+                ):
+                    callback(event)
         return event
 
     # ------------------------------------------------------------------

@@ -48,19 +48,28 @@ class Gauge:
 class Histogram:
     """Summary statistics over observed samples.
 
-    Stores count/sum/min/max rather than buckets: the bench snapshot
-    wants scalar series that diff cleanly across PRs, and mean + extremes
-    cover every distribution question the experiments ask (occupancy,
-    round trips, sweep sizes).
+    Stores count/sum/min/max plus a bounded, *deterministic* sample
+    reservoir for quantiles: the bench snapshot wants scalar series that
+    diff cleanly across PRs, and the monitor wants p50/p95/p99 latency
+    without external tooling.  The reservoir keeps every ``stride``-th
+    sample and doubles the stride when full (a systematic thinning, not
+    random reservoir sampling — the registry must stay deterministic),
+    so quantiles are exact below :data:`SAMPLE_LIMIT` observations and a
+    stride-spaced approximation above it.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    #: Reservoir capacity; thinning doubles the stride at this size.
+    SAMPLE_LIMIT = 512
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: list = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -69,20 +78,43 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if (self.count - 1) % self._stride == 0:
+            if len(self._samples) >= self.SAMPLE_LIMIT:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+                if (self.count - 1) % self._stride != 0:
+                    return
+            self._samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (nearest-rank) of the kept samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
     def as_dict(self) -> Dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        ordered = sorted(self._samples)
+        n = len(ordered)
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": ordered[min(n - 1, int(0.50 * n))],
+            "p95": ordered[min(n - 1, int(0.95 * n))],
+            "p99": ordered[min(n - 1, int(0.99 * n))],
         }
 
 

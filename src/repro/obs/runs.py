@@ -38,7 +38,7 @@ class TracedRun:
     history: History
 
 
-def run_traced_figure4(seed: int = 0) -> TracedRun:
+def run_traced_figure4(seed: int = 0, collector=None) -> TracedRun:
     """Owner-protocol run exercising both invalidation-sweep paths.
 
     Three nodes; ``x`` owned by P0, ``y`` by P1, ``z`` by P2.
@@ -58,7 +58,8 @@ def run_traced_figure4(seed: int = 0) -> TracedRun:
     cluster = DSMCluster(
         n_nodes=3, protocol="causal", seed=seed, namespace=namespace
     )
-    collector = TraceCollector()
+    if collector is None:
+        collector = TraceCollector()
     cluster.attach_obs(collector)
 
     def p0(api):
@@ -88,7 +89,7 @@ def run_traced_figure4(seed: int = 0) -> TracedRun:
     )
 
 
-def run_traced_figure3(seed: int = 0) -> TracedRun:
+def run_traced_figure3(seed: int = 0, collector=None) -> TracedRun:
     """Figure 3 on causal-broadcast memory, traced (the CI smoke run).
 
     Same schedule as
@@ -98,7 +99,8 @@ def run_traced_figure3(seed: int = 0) -> TracedRun:
     applies, and cross-node delivery under tracing.
     """
     cluster = DSMCluster(n_nodes=3, protocol="broadcast", seed=seed)
-    collector = TraceCollector()
+    if collector is None:
+        collector = TraceCollector()
     cluster.attach_obs(collector)
 
     def p1(api):

@@ -194,7 +194,17 @@ class AtomicOwnerNode(DSMNode):
                 f"node {self.node_id} received A_READ for {msg.location!r}"
             )
         if msg.location in self._active_writes or self._deferred.get(msg.location):
-            self._defer(msg.location, lambda: self._serve_read(src, msg))
+            self._defer(msg.location, lambda: self._do_serve_read(src, msg))
+            return
+        self._do_serve_read(src, msg)
+
+    def _do_serve_read(self, src: int, msg: AtomicReadRequest) -> None:
+        # Deferred thunks must NOT re-check the deferred queue: two reads
+        # parked behind the same write would each see the other queued
+        # and re-defer forever once drained.  Like _start_write, only an
+        # active write justifies going back to sleep.
+        if msg.location in self._active_writes:
+            self._defer(msg.location, lambda: self._do_serve_read(src, msg))
             return
         entry = self.store.get(msg.location)
         assert entry is not None

@@ -173,6 +173,16 @@ class DSMNode:
                 value=entry.value,
                 read_from=_write_identity(location, entry),
             )
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.commit",
+                node=self.node_id,
+                clock=getattr(self, "vt", None),
+                kind="r",
+                location=location,
+                value=entry.value,
+                source=_write_identity(location, entry),
+            )
 
     def _record_write(self, location: str, value: Any, entry: MemoryEntry) -> None:
         if self.recorder is not None:
@@ -181,6 +191,16 @@ class DSMNode:
                 location=location,
                 value=value,
                 write_id=_write_identity(location, entry),
+            )
+        if self.obs is not None:
+            self.obs.emit(
+                "proto", "op.commit",
+                node=self.node_id,
+                clock=getattr(self, "vt", None),
+                kind="w",
+                location=location,
+                value=value,
+                source=_write_identity(location, entry),
             )
 
     # ------------------------------------------------------------------
@@ -288,6 +308,8 @@ class DSMCluster:
         self.namespace = namespace or Namespace.hashed(n_nodes)
         self.scheduler = TaskScheduler(self.sim)
         self.recorder = HistoryRecorder() if record_history else None
+        #: The collector bound by attach_obs (None until attached).
+        self._obs = None
         self.server: Optional[DSMNode] = None
         self.nodes: List[DSMNode] = self._build_nodes(
             protocol, policy, initial_value, no_cache, unsafe_write_behind,
@@ -375,6 +397,11 @@ class DSMCluster:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    @property
+    def obs(self):
+        """The attached TraceCollector, or None when detached."""
+        return self._obs
+
     def attach_obs(self, collector) -> None:
         """Attach one TraceCollector to every layer of this cluster.
 
@@ -383,7 +410,22 @@ class DSMCluster:
         every node and its store, and the central server when present.
         Detached components keep ``obs = None`` and pay nothing — see
         DESIGN.md Section 4.7.
+
+        Attaching is idempotent for the *same* collector (a no-op, so
+        composed harnesses may attach defensively) and raises
+        :class:`~repro.errors.ProtocolError` for a *different* one:
+        silently rebinding would leave two collectors each believing
+        they own the stream, and re-running attach used to double-emit
+        spans through stale bindings.
         """
+        if self._obs is not None:
+            if self._obs is collector:
+                return
+            raise ProtocolError(
+                "cluster already has a TraceCollector attached; "
+                "attach_obs is one-shot per cluster"
+            )
+        self._obs = collector
         collector.bind(self.sim)
         self.sim.obs = collector
         self.network.obs = collector

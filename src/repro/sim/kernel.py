@@ -141,6 +141,13 @@ class Simulator:
         #: path branches on this ONCE before its loop, so a detached run
         #: executes byte-identical bytecode to the pre-obs kernel.
         self.obs = None
+        #: Streaming-subscriber hook: a callable receiving every executed
+        #: :class:`ScheduledEvent` (tagged or not) just before its
+        #: callback runs, or None.  Same twin-loop discipline as ``obs``:
+        #: the bare ``run()`` branches once, so a detached run pays
+        #: nothing per event.  Used by ``repro monitor`` to observe
+        #: kernel progress live.
+        self.stream = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -261,11 +268,12 @@ class Simulator:
         try:
             if until is None and max_events is None:
                 obs = self.obs
-                if obs is None:
+                stream = self.stream
+                if obs is None and stream is None:
                     # Fast path for the by-far common bare ``run()``: no
                     # budget or horizon checks inside the event loop, and
                     # — the zero-overhead-when-disabled guarantee — no
-                    # per-event obs test either.
+                    # per-event obs or stream test either.
                     while queue:
                         time, _, event = heappop(queue)
                         event._in_heap = False
@@ -283,7 +291,9 @@ class Simulator:
                     return
                 # Instrumented twin of the loop above: identical
                 # semantics, plus a scheduling-decision event for every
-                # tagged (externally meaningful) event executed.
+                # tagged (externally meaningful) event executed and a
+                # streaming-subscriber call for every event when a
+                # stream hook is installed.
                 while queue:
                     time, _, event = heappop(queue)
                     event._in_heap = False
@@ -297,8 +307,10 @@ class Simulator:
                         )
                     self.now = time
                     self._events_processed += 1
-                    if event.tag is not None:
+                    if obs is not None and event.tag is not None:
                         obs.emit("kernel", "execute", time=time, tag=event.tag)
+                    if stream is not None:
+                        stream(event)
                     event.callback()
                 return
             while queue:
@@ -324,6 +336,8 @@ class Simulator:
                 self._events_processed += 1
                 if self.obs is not None and event.tag is not None:
                     self.obs.emit("kernel", "execute", time=time, tag=event.tag)
+                if self.stream is not None:
+                    self.stream(event)
                 event.callback()
                 executed += 1
             if until is not None and until > self.now:
@@ -374,6 +388,8 @@ class Simulator:
                 "kernel", "choose", time=self.now,
                 tag=event.tag, scheduled_at=event.time,
             )
+        if self.stream is not None:
+            self.stream(event)
         event.callback()
 
     # ------------------------------------------------------------------
@@ -407,6 +423,8 @@ class Simulator:
         self._events_processed += 1
         if self.obs is not None and head.tag is not None:
             self.obs.emit("kernel", "execute", time=head.time, tag=head.tag)
+        if self.stream is not None:
+            self.stream(head)
         head.callback()
 
     def _note_cancelled(self) -> None:

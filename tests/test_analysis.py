@@ -143,3 +143,42 @@ class TestSnapshotTable:
         stats.record(_message(1))
         table = snapshot_table([stats.snapshot(time=1.0)])
         assert table.rows[0][0] == "#0"
+
+
+class TestHistogramTable:
+    def _snapshot(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 100.0):
+            registry.histogram("monitor.observe_us").observe(value)
+        registry.histogram("net.latency").observe(5.0)
+        return registry.snapshot()
+
+    def test_renders_quantile_columns(self):
+        from repro.analysis.tables import histogram_table
+
+        table = histogram_table(self._snapshot())
+        text = table.render()
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "monitor.observe_us" in text
+        assert "net.latency" in text
+
+    def test_prefix_filters_names(self):
+        from repro.analysis.tables import histogram_table
+
+        table = histogram_table(self._snapshot(), prefix="monitor.")
+        text = table.render()
+        assert "monitor.observe_us" in text
+        assert "net.latency" not in text
+
+    def test_accepts_bare_histograms_subtree_and_pre_v4_shape(self):
+        from repro.analysis.tables import histogram_table
+
+        snap = self._snapshot()
+        # Older snapshots lack quantile keys entirely; they render as 0.
+        legacy = {"old.series": {"count": 2, "mean": 1.5, "max": 2.0}}
+        table = histogram_table(legacy)
+        assert "old.series" in table.render()
+        table = histogram_table(snap["histograms"])
+        assert "monitor.observe_us" in table.render()

@@ -170,6 +170,34 @@ class TestCoherence:
         cluster.run()
         assert results["value"] == 1
 
+    def test_multiple_deferred_reads_all_drain_after_write(self):
+        # Regression: two reads parked behind the same in-flight write
+        # used to re-defer each other forever once the write finished —
+        # each popped thunk saw the other still queued and went back to
+        # sleep, spinning in _drain.
+        cluster = make_cluster(n=4)
+        results = {}
+
+        def early_reader(api):
+            yield api.read("x")  # joins the copyset so the write has work
+
+        def writer(api):
+            yield sleep(cluster.sim, 5.0)
+            yield api.write("x", 7)
+
+        def reader(tag):
+            def process(api):
+                yield sleep(cluster.sim, 5.5)  # A_READ lands mid-invalidation
+                results[tag] = yield api.read("x")
+            return process
+
+        cluster.spawn(1, early_reader)
+        cluster.spawn(0, writer)
+        cluster.spawn(2, reader("r2"))
+        cluster.spawn(3, reader("r3"))
+        cluster.run()
+        assert results == {"r2": 7, "r3": 7}
+
     def test_fuzzed_histories_are_sequentially_consistent(self):
         from repro.apps.workload import WorkloadConfig, run_random_execution
 

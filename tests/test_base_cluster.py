@@ -135,3 +135,30 @@ class TestMeasurementSurfaces:
             return cluster.stats.total
 
         assert run(5) == run(5)
+
+
+class TestAttachObs:
+    def test_reattaching_same_collector_is_a_noop(self):
+        from repro.obs.collector import TraceCollector
+
+        cluster = DSMCluster(2)
+        collector = TraceCollector()
+        cluster.attach_obs(collector)
+        cluster.attach_obs(collector)  # defensive re-attach: fine
+
+        def process(api):
+            yield api.write("x", 1)
+
+        cluster.spawn(0, process)
+        cluster.run()
+        # One binding, one stream: no double-emitted spans.
+        commits = cluster.obs.select("proto", "op.commit")
+        assert len(commits) == 1
+
+    def test_attaching_a_different_collector_raises(self):
+        from repro.obs.collector import TraceCollector
+
+        cluster = DSMCluster(2)
+        cluster.attach_obs(TraceCollector())
+        with pytest.raises(ProtocolError, match="already has a TraceCollector"):
+            cluster.attach_obs(TraceCollector())

@@ -29,6 +29,15 @@ def test_smoke_suite_produces_all_metric_groups():
     checker = metrics["checker"]["n=2"]
     assert checker["ops_per_sec"] > 0
     assert checker["ops"] > 0
+    monitor = metrics["monitor"]
+    assert monitor["causal"] is True
+    assert monitor["events_per_sec"] > 0
+    assert monitor["reads_checked"] > 0
+    for ratio in ("attached_overhead", "hook_overhead", "monitor_overhead",
+                  "total_overhead"):
+        assert isinstance(monitor[ratio], float)
+    assert monitor["max_window"] > 0
+    assert monitor["observe_p99_us"] >= monitor["observe_p50_us"] >= 0
 
 
 def test_cli_smoke_appends_runs_to_trajectory(tmp_path, capsys):
@@ -102,7 +111,8 @@ def test_smoke_suite_includes_bandwidth_section():
     assert bandwidth["fastpath"]["batch_occupancy"] >= 1.0
 
 
-def _v2_file(path, labels):
+def _v4_file(path, labels):
+    """A trajectory saved at the current schema (v4)."""
     trajectory = BenchTrajectory()
     for label in labels:
         trajectory.append(
@@ -112,10 +122,15 @@ def _v2_file(path, labels):
     return path.read_text()
 
 
-def test_v1_files_load_unchanged(tmp_path):
-    legacy = tmp_path / "v1.json"
+def test_saved_files_carry_schema_v4():
+    assert SCHEMA_VERSION == 4
+
+
+@pytest.mark.parametrize("schema", [1, 2, 3])
+def test_older_schema_files_load_unchanged(tmp_path, schema):
+    legacy = tmp_path / f"v{schema}.json"
     legacy.write_text(json.dumps({
-        "schema": 1,
+        "schema": schema,
         "runs": [{
             "label": "pr2", "timestamp": "t0", "smoke": False,
             "metrics": {"kernel": {"events_per_sec": 5.0}},
@@ -123,12 +138,23 @@ def test_v1_files_load_unchanged(tmp_path):
     }))
     trajectory = BenchTrajectory.load(legacy)
     assert [r.label for r in trajectory.runs] == ["pr2"]
-    assert "bandwidth" not in trajectory.latest().metrics
+    # Older runs simply lack the sections their schema predates.
+    assert "monitor" not in trajectory.latest().metrics
+    # Appending and saving upgrades the file to the current schema.
+    trajectory.append(
+        BenchRecord("pr6", "t1", {"monitor": {"events_per_sec": 9.0}})
+    )
+    trajectory.save(legacy)
+    assert json.loads(legacy.read_text())["schema"] == SCHEMA_VERSION
+    series = BenchTrajectory.load(legacy).metric_series(
+        "monitor", "events_per_sec"
+    )
+    assert series == [None, 9.0]
 
 
 def test_truncated_file_rejected_then_repaired(tmp_path):
     file = tmp_path / "trunc.json"
-    text = _v2_file(file, ["one", "two"])
+    text = _v4_file(file, ["one", "two"])
     # Kill the writer mid-flight: drop the tail of the second run object.
     file.write_text(text[: int(len(text) * 0.7)])
     with pytest.raises(ReproError, match="repair=True"):
@@ -140,7 +166,7 @@ def test_truncated_file_rejected_then_repaired(tmp_path):
 def test_concatenated_documents_rejected_then_merged(tmp_path):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     file = tmp_path / "both.json"
-    file.write_text(_v2_file(a, ["first"]) + _v2_file(b, ["second"]))
+    file.write_text(_v4_file(a, ["first"]) + _v4_file(b, ["second"]))
     with pytest.raises(ReproError, match="concatenated"):
         BenchTrajectory.load(file)
     merged = BenchTrajectory.load(file, repair=True)
@@ -151,8 +177,8 @@ def test_repair_does_not_double_count_complete_documents(tmp_path):
     """A complete document followed by a truncated one must yield the
     complete document's runs exactly once plus the salvageable tail."""
     a, b = tmp_path / "a.json", tmp_path / "b.json"
-    whole = _v2_file(a, ["kept"])
-    tail = _v2_file(b, ["salvaged", "lost"])
+    whole = _v4_file(a, ["kept"])
+    tail = _v4_file(b, ["salvaged", "lost"])
     file = tmp_path / "mixed.json"
     file.write_text(whole + tail[: int(len(tail) * 0.7)])
     repaired = BenchTrajectory.load(file, repair=True)
@@ -161,7 +187,7 @@ def test_repair_does_not_double_count_complete_documents(tmp_path):
 
 def test_save_is_atomic_and_leaves_no_temp_file(tmp_path):
     file = tmp_path / "out.json"
-    _v2_file(file, ["a"])
+    _v4_file(file, ["a"])
     assert json.loads(file.read_text())["schema"] == SCHEMA_VERSION
     assert list(tmp_path.iterdir()) == [file]
 

@@ -78,3 +78,42 @@ class TestSaveAndBaseline:
         stale.save(path)
         main(["all", "--baseline", str(path)])
         assert "drift" in capsys.readouterr().out
+
+
+class TestMonitorCommand:
+    def test_fig4_scenario_passes(self, capsys):
+        assert main(["monitor", "--scenario", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "CAUSAL" in out and "reads checked" in out
+
+    def test_fig3_scenario_flags_violation(self, capsys):
+        assert main(["monitor", "--scenario", "fig3"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "stale-source" in out
+
+    def test_expect_violation_inverts_exit_code(self, capsys):
+        assert main(["monitor", "--scenario", "fig3",
+                     "--expect-violation"]) == 0
+        assert main(["monitor", "--scenario", "fig4",
+                     "--expect-violation"]) == 1
+        capsys.readouterr()
+
+    def test_from_trace_replays_exported_json(self, tmp_path, capsys):
+        trace = tmp_path / "fig3.json"
+        assert main(["trace", "--scenario", "fig3", "--format", "json",
+                     "--output", str(trace)]) == 0
+        assert main(["monitor", "--from-trace", str(trace),
+                     "--expect-violation"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_counterexample_written_and_replayable(self, tmp_path, capsys):
+        from repro.mc.counterexample import Counterexample, replay
+
+        path = tmp_path / "cex.json"
+        assert main(["monitor", "--scenario", "fig3", "--expect-violation",
+                     "--counterexample", str(path)]) == 0
+        assert "format v2" in capsys.readouterr().out
+        outcome = replay(Counterexample.load(path))
+        from repro.checker import check_causal
+        assert not check_causal(outcome.history).ok

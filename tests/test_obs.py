@@ -130,7 +130,45 @@ class TestMetricsRegistry:
         snap = registry.snapshot()
         assert list(snap["counters"]) == ["a", "b"]
         assert snap["histograms"]["h"]["count"] == 0
+        assert snap["histograms"]["h"]["p99"] == 0.0
         json.dumps(snap)
+
+    def test_histogram_quantiles_exact_below_reservoir_limit(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        for value in range(1, 101):  # 1..100, well under SAMPLE_LIMIT
+            hist.observe(float(value))
+        snap = hist.as_dict()
+        assert snap["p50"] == hist.quantile(0.5) == 51.0
+        assert snap["p95"] == 96.0
+        assert snap["p99"] == 100.0
+        assert snap["count"] == 100 and snap["max"] == 100.0
+
+    def test_histogram_quantiles_survive_reservoir_thinning(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        n = Histogram.SAMPLE_LIMIT * 8
+        for value in range(n):
+            hist.observe(float(value))
+        # Thinning keeps every stride-th sample: quantiles approximate
+        # the true ones within a stride's width, deterministically.
+        assert len(hist._samples) <= Histogram.SAMPLE_LIMIT
+        assert abs(hist.quantile(0.5) - n / 2) <= n * 0.05
+        assert hist.quantile(0.99) >= hist.quantile(0.5) >= hist.quantile(0.0)
+        assert hist.as_dict()["count"] == n
+
+    def test_histogram_quantiles_deterministic(self):
+        from repro.obs.metrics import Histogram
+
+        def build():
+            hist = Histogram()
+            for i in range(3000):
+                hist.observe(float((i * 37) % 1000))
+            return hist.as_dict()
+
+        assert build() == build()
 
 
 class TestZeroCostWhenDetached:
