@@ -12,7 +12,7 @@ Schema (``schema`` is bumped on incompatible change; the reader accepts
 every version up to the current one)::
 
     {
-      "schema": 4,
+      "schema": 5,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -35,7 +35,14 @@ every version up to the current one)::
             "monitor": {"events_per_sec": ..., "ops": ...,
                         "attached_overhead": ..., "hook_overhead": ...,
                         "monitor_overhead": ..., "max_window": ...,
-                        "gc_retired": ..., "cache_hit_rate": ...}
+                        "gc_retired": ..., "cache_hit_rate": ...},
+            "substrate": {"vectorised": {
+                "n=64": {"sweep": {"python_rows_per_sec": ...,
+                                    "numpy_rows_per_sec": ...,
+                                    "speedup": ..., "masks_equal": true},
+                         "protocol": {"scalar_ops_per_sec": ...,
+                                       "vector_ops_per_sec": ...,
+                                       "speedup": ...}}, ...}}
           }
         }, ...
       ]
@@ -53,6 +60,12 @@ Schema history:
   sustained throughput, attached-overhead A/B, window/GC statistics),
   and histogram leaves gain ``p50``/``p95``/``p99`` quantiles.  v1–v3
   files load unchanged.
+* **5** — adds the optional ``substrate`` section; its ``vectorised``
+  subtree carries the writestamp-arena backend A/B per clock width
+  (``"n=64": {"sweep": {...}, "protocol": {...}}`` — batched-mask
+  rows/sec per backend with the numpy/python speedup and a
+  mask-equality canary, plus the end-to-end protocol ops/sec under
+  each ``arena_backend``).  v1–v4 files load unchanged.
 
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
@@ -78,12 +91,12 @@ from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Versions the reader understands.  Older files simply lack the
-#: optional ``bandwidth`` / ``obs`` / ``monitor`` metric sections, so
-#: they load as-is.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+#: optional ``bandwidth`` / ``obs`` / ``monitor`` / ``substrate``
+#: metric sections, so they load as-is.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 
 @dataclass(frozen=True)

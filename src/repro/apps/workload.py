@@ -38,6 +38,10 @@ class WorkloadConfig:
     no_cache: bool = False
     batching: bool = False
     delta_stamps: bool = False
+    #: Writestamp-arena backend (None = auto; "python" | "numpy").
+    arena_backend: Optional[str] = None
+    #: Coalesce same-instant deliveries into one scheduler entry.
+    batch_delivery: bool = False
     seed: int = 0
 
     def location(self, index: int) -> str:
@@ -80,6 +84,8 @@ def run_random_execution(
         no_cache=config.no_cache,
         batching=config.batching,
         delta_stamps=config.delta_stamps,
+        arena_backend=config.arena_backend,
+        batch_delivery=config.batch_delivery,
     )
 
     def process(api, proc: int):

@@ -1,0 +1,323 @@
+"""Writestamp arenas: batched storage and comparison of vector clocks.
+
+A :class:`ClockArena` packs many writestamps into one 2-D ``uint64``
+array — rows are slots (one per cached line, held message, or frontier
+entry), columns are process components.  Batch operations replace the
+per-clock Python loops on the invalidation/delivery hot paths:
+
+* :meth:`~ClockArena.older_mask` — one masked compare per incoming
+  writestamp classifies *every* slot as strictly-older-or-not
+  (``np.all``/``np.any`` over the row block), instead of one
+  ``VectorClock.compare`` call per cached line;
+* :meth:`~ClockArena.dominated_mask` — componentwise ``<=`` over all
+  slots at once (the checker/monitor dominance test);
+* :meth:`~ClockArena.merge_rows` — rowwise componentwise maximum (a
+  batched ``update``).
+
+``VectorClock`` stays the API-edge representation: :meth:`ClockArena.clock`
+materialises a slot as an immutable clock only when a value crosses a
+protocol or test boundary.  Inside the arena, rows are mutable storage.
+
+**View-aliasing rules** (DESIGN.md §4.9): :meth:`ClockArena.row` returns a
+live numpy view into the backing array.  Views are invalidated by the next
+:meth:`alloc` (growth reallocates the backing array) and by
+:meth:`write`/:meth:`merge` into the same slot.  Never hold a row view
+across an allocation; copy (``components()``/``clock()``) at API edges.
+
+**Backends.**  :class:`PyClockArena` is the pure-Python twin with the
+identical API over lists — it keeps the scalar path alive where numpy is
+unavailable or undesired.  Selection order: an explicit constructor
+argument wins, then the ``REPRO_ARENA_BACKEND`` environment variable
+(``numpy`` | ``python`` | ``auto``), then ``auto`` (numpy when
+importable).  Both backends are lockstep property-tested against the
+``VectorClock`` operators and against each other (byte-identical
+histories); see ``tests/test_prop_arena.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.clocks.vector_clock import (
+    CONCURRENT,
+    EQUAL,
+    GREATER,
+    LESS,
+    VectorClock,
+)
+from repro.errors import ClockError
+
+try:  # numpy is an accelerator, never a requirement
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None
+
+__all__ = [
+    "ClockArena",
+    "PyClockArena",
+    "make_arena",
+    "resolve_backend",
+    "HAVE_NUMPY",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: Environment override for the default backend.
+_ENV_VAR = "REPRO_ARENA_BACKEND"
+_VALID_BACKENDS = ("auto", "numpy", "python")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend request to ``"numpy"`` or ``"python"``.
+
+    ``None``/``"auto"`` consults :data:`_ENV_VAR`, then picks numpy when
+    importable.  An explicit ``"numpy"`` raises if numpy is missing —
+    silent degradation would invalidate a benchmark's A/B claim.
+    """
+    if backend is None:
+        backend = os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+    if backend not in _VALID_BACKENDS:
+        raise ClockError(
+            f"unknown arena backend {backend!r}; expected one of "
+            f"{_VALID_BACKENDS}"
+        )
+    if backend == "auto":
+        return "numpy" if HAVE_NUMPY else "python"
+    if backend == "numpy" and not HAVE_NUMPY:
+        raise ClockError("arena backend 'numpy' requested but numpy is absent")
+    return backend
+
+
+def make_arena(dimension: int, backend: Optional[str] = None, capacity: int = 16):
+    """Build the arena for the resolved backend."""
+    if resolve_backend(backend) == "numpy":
+        return ClockArena(dimension, capacity=capacity)
+    return PyClockArena(dimension, capacity=capacity)
+
+
+class ClockArena:
+    """numpy-backed writestamp arena (see module docstring).
+
+    Slots are recycled through a free list; ``alloc`` may grow the
+    backing array (amortised doubling), which invalidates outstanding
+    row views.
+    """
+
+    backend = "numpy"
+
+    __slots__ = ("dimension", "_rows", "_free", "_top")
+
+    def __init__(self, dimension: int, capacity: int = 16):
+        if dimension <= 0:
+            raise ClockError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self._rows = _np.zeros((max(capacity, 1), dimension), dtype=_np.uint64)
+        self._free: List[int] = []
+        self._top = 0  # rows ever handed out; rows >= _top are virgin
+
+    # -- slot management ------------------------------------------------
+    def alloc(self, components: Sequence[int]) -> int:
+        """Claim a slot holding ``components``; may grow (invalidates views)."""
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._top
+            if slot == len(self._rows):
+                grown = _np.zeros(
+                    (len(self._rows) * 2, self.dimension), dtype=_np.uint64
+                )
+                grown[: self._top] = self._rows[: self._top]
+                self._rows = grown
+            self._top += 1
+        self._rows[slot] = components
+        return slot
+
+    def write(self, slot: int, components: Sequence[int]) -> None:
+        """Overwrite a live slot in place."""
+        self._rows[slot] = components
+
+    def merge(self, slot: int, components: Sequence[int]) -> None:
+        """Rowwise ``update``: slot := componentwise max(slot, components)."""
+        row = self._rows[slot]
+        _np.maximum(row, _np.asarray(components, dtype=_np.uint64), out=row)
+
+    def free(self, slot: int) -> None:
+        """Release a slot back to the free list."""
+        self._free.append(slot)
+
+    # -- access ----------------------------------------------------------
+    def row(self, slot: int):
+        """Live view of a slot's components — see view-aliasing rules."""
+        return self._rows[slot]
+
+    def components(self, slot: int) -> Tuple[int, ...]:
+        """A slot's components as a plain tuple (a copy)."""
+        return tuple(int(c) for c in self._rows[slot])
+
+    def clock(self, slot: int) -> VectorClock:
+        """Materialise a slot as an immutable ``VectorClock`` (API edge)."""
+        return VectorClock._from_trusted(self.components(slot))
+
+    # -- batch operations --------------------------------------------------
+    def older_mask(
+        self, slots: Iterable[int], stamp: Sequence[int]
+    ) -> List[bool]:
+        """``mask[i] iff rows[slots[i]] < stamp`` (strict vector order).
+
+        One vectorised pass over the selected rows: less-or-equal in every
+        component and strictly less in at least one — the Figure 4
+        invalidation test for a whole sweep's candidate set at once.
+        """
+        idx = _np.fromiter(slots, dtype=_np.intp)
+        if idx.size == 0:
+            return []
+        rows = self._rows[idx]
+        s = _np.asarray(stamp, dtype=_np.uint64)
+        older = (rows <= s).all(axis=1) & (rows < s).any(axis=1)
+        return older.tolist()
+
+    def dominated_mask(
+        self, slots: Iterable[int], stamp: Sequence[int]
+    ) -> List[bool]:
+        """``mask[i] iff rows[slots[i]] <= stamp`` componentwise."""
+        idx = _np.fromiter(slots, dtype=_np.intp)
+        if idx.size == 0:
+            return []
+        s = _np.asarray(stamp, dtype=_np.uint64)
+        return (self._rows[idx] <= s).all(axis=1).tolist()
+
+    def merge_rows(self, slots: Iterable[int]) -> Tuple[int, ...]:
+        """Componentwise maximum over the selected slots (batched update)."""
+        idx = _np.fromiter(slots, dtype=_np.intp)
+        if idx.size == 0:
+            return (0,) * self.dimension
+        merged = self._rows[idx].max(axis=0)
+        return tuple(int(c) for c in merged)
+
+    def classify(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Vectorised ``VectorClock.compare`` over raw component vectors."""
+        av = _np.asarray(a, dtype=_np.uint64)
+        bv = _np.asarray(b, dtype=_np.uint64)
+        less = bool((av < bv).any())
+        greater = bool((av > bv).any())
+        if less and greater:
+            return CONCURRENT
+        if less:
+            return LESS
+        if greater:
+            return GREATER
+        return EQUAL
+
+    def __len__(self) -> int:
+        return self._top - len(self._free)
+
+
+class PyClockArena:
+    """Pure-Python twin of :class:`ClockArena` — identical API over lists.
+
+    The scalar fallback: selected by ``REPRO_ARENA_BACKEND=python`` or
+    when numpy is absent.  Rows are lists; batch operations degrade to
+    the same per-element loops the pre-arena code ran.
+    """
+
+    backend = "python"
+
+    __slots__ = ("dimension", "_rows", "_free")
+
+    def __init__(self, dimension: int, capacity: int = 16):
+        if dimension <= 0:
+            raise ClockError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self._rows: List[Optional[List[int]]] = []
+        self._free: List[int] = []
+
+    def alloc(self, components: Sequence[int]) -> int:
+        if self._free:
+            slot = self._free.pop()
+            self._rows[slot] = list(components)
+            return slot
+        self._rows.append(list(components))
+        return len(self._rows) - 1
+
+    def write(self, slot: int, components: Sequence[int]) -> None:
+        self._rows[slot] = list(components)
+
+    def merge(self, slot: int, components: Sequence[int]) -> None:
+        row = self._rows[slot]
+        for i, c in enumerate(components):
+            if c > row[i]:
+                row[i] = c
+
+    def free(self, slot: int) -> None:
+        self._rows[slot] = None
+        self._free.append(slot)
+
+    def row(self, slot: int):
+        return self._rows[slot]
+
+    def components(self, slot: int) -> Tuple[int, ...]:
+        return tuple(self._rows[slot])
+
+    def clock(self, slot: int) -> VectorClock:
+        return VectorClock._from_trusted(self.components(slot))
+
+    def older_mask(
+        self, slots: Iterable[int], stamp: Sequence[int]
+    ) -> List[bool]:
+        rows = self._rows
+        out = []
+        for slot in slots:
+            row = rows[slot]
+            less = False
+            older = True
+            for x, y in zip(row, stamp):
+                if x > y:
+                    older = False
+                    break
+                if x < y:
+                    less = True
+            out.append(older and less)
+        return out
+
+    def dominated_mask(
+        self, slots: Iterable[int], stamp: Sequence[int]
+    ) -> List[bool]:
+        rows = self._rows
+        return [
+            all(x <= y for x, y in zip(rows[slot], stamp)) for slot in slots
+        ]
+
+    def merge_rows(self, slots: Iterable[int]) -> Tuple[int, ...]:
+        merged: Optional[List[int]] = None
+        for slot in slots:
+            row = self._rows[slot]
+            if merged is None:
+                merged = list(row)
+            else:
+                for i, c in enumerate(row):
+                    if c > merged[i]:
+                        merged[i] = c
+        if merged is None:
+            return (0,) * self.dimension
+        return tuple(merged)
+
+    def classify(self, a: Sequence[int], b: Sequence[int]) -> int:
+        less = greater = False
+        for x, y in zip(a, b):
+            if x < y:
+                if greater:
+                    return CONCURRENT
+                less = True
+            elif x > y:
+                if less:
+                    return CONCURRENT
+                greater = True
+        if less:
+            return LESS
+        if greater:
+            return GREATER
+        return EQUAL
+
+    def __len__(self) -> int:
+        return len(self._rows) - len(self._free)

@@ -85,6 +85,7 @@ class DSMNode:
         n_nodes: int,
         recorder: Optional[HistoryRecorder] = None,
         initial_value: Any = 0,
+        arena_backend: Optional[str] = None,
     ):
         self.node_id = node_id
         self.sim = sim
@@ -93,7 +94,8 @@ class DSMNode:
         self.n_nodes = n_nodes
         self.recorder = recorder
         self.store = LocalStore(
-            node_id, namespace, n_nodes, initial_value=initial_value
+            node_id, namespace, n_nodes, initial_value=initial_value,
+            backend=arena_backend,
         )
         self.stats = OpStats()
         self._request_ids = itertools.count(1)
@@ -257,6 +259,16 @@ class DSMCluster:
         Install a :class:`~repro.protocols.wire.WireCodec` on the
         network so vector-clock fields are delta-encoded per channel
         (byte accounting only; message contents round-trip exactly).
+    arena_backend:
+        Writestamp-arena backend for every node's store and the
+        vectorised delivery/sweep paths: ``"numpy"``, ``"python"``,
+        ``"auto"`` or None (consults ``REPRO_ARENA_BACKEND``, then
+        autodetects) — see DESIGN.md §4.9.
+    batch_delivery:
+        Schedule each broadcast fan-out's same-instant deliveries as one
+        kernel heap entry (:meth:`~repro.sim.kernel.Simulator.schedule_batch_at`).
+        Event-order equivalent to individual scheduling; opt-in because
+        it coarsens the explorer's interleaving granularity.
 
     Examples
     --------
@@ -286,6 +298,8 @@ class DSMCluster:
         unsafe_write_behind: bool = False,
         batching: bool = False,
         delta_stamps: bool = False,
+        arena_backend: Optional[str] = None,
+        batch_delivery: bool = False,
     ):
         if n_nodes <= 0:
             raise ProtocolError(f"need at least one node, got {n_nodes}")
@@ -293,6 +307,7 @@ class DSMCluster:
         self.protocol = protocol
         self.batching = batching
         self.delta_stamps = delta_stamps
+        self.arena_backend = arena_backend
         self.sim = Simulator(seed=seed)
         codec = None
         if delta_stamps:
@@ -304,6 +319,7 @@ class DSMCluster:
             latency=latency,
             trace_messages=trace_messages,
             codec=codec,
+            batch_delivery=batch_delivery,
         )
         self.namespace = namespace or Namespace.hashed(n_nodes)
         self.scheduler = TaskScheduler(self.sim)
@@ -313,7 +329,7 @@ class DSMCluster:
         self.server: Optional[DSMNode] = None
         self.nodes: List[DSMNode] = self._build_nodes(
             protocol, policy, initial_value, no_cache, unsafe_write_behind,
-            batching,
+            batching, arena_backend,
         )
 
     def _build_nodes(
@@ -324,6 +340,7 @@ class DSMCluster:
         no_cache: bool,
         unsafe_write_behind: bool,
         batching: bool,
+        arena_backend: Optional[str],
     ) -> List[DSMNode]:
         # Local imports: the concrete engines subclass DSMNode from this
         # module, so importing them at module load would be circular.
@@ -342,6 +359,7 @@ class DSMCluster:
             n_nodes=self.n_nodes,
             recorder=self.recorder,
             initial_value=initial_value,
+            arena_backend=arena_backend,
         )
         if protocol == "causal":
             return [

@@ -73,7 +73,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.clocks import CONCURRENT, VectorClock
+from repro.clocks import CONCURRENT, LESS, VectorClock
 from repro.errors import ProtocolError
 from repro.memory.local_store import MemoryEntry
 from repro.protocols.base import DSMNode, WriteOutcome
@@ -160,6 +160,12 @@ class CausalOwnerNode(DSMNode):
             )
         self.batching = batching
         self._pending_reads: Dict[int, Tuple[Future, str, float]] = {}
+        #: Per pending read: foreign stamps merged while its reply is in
+        #: flight.  _complete_read replays the sweeps those stamps ran
+        #: against payloads that were not yet cached (see _note_stamp).
+        self._read_flight: Dict[int, List[VectorClock]] = {}
+        #: Read replies rejected as overtaken and re-requested.
+        self.stale_read_retries = 0
         self._pending_writes: Dict[
             int, Tuple[Optional[Future], str, Any, float]
         ] = {}
@@ -177,6 +183,10 @@ class CausalOwnerNode(DSMNode):
         self._wb_uncertified: set = set()
         #: Incoming ReadRequests parked until the queue drains.
         self._wb_deferred_reads: List[Tuple[int, ReadRequest]] = []
+        #: Owned locations written locally while earlier own writes sat
+        #: uncertified: their entry stamps omit the certified stamps of
+        #: those writes and are patched by _restamp_owned on each ack.
+        self._wb_owned_stale: Dict[str, None] = {}
         # Occupancy counters for the bandwidth report.
         self.wb_batches = 0
         self.wb_batched_writes = 0
@@ -213,19 +223,49 @@ class CausalOwnerNode(DSMNode):
             # A read miss is a flush point: push queued writes out now so
             # the owner (FIFO channel) certifies them before serving us.
             self._wb_flush()
+        self._send_read_request(future, location, self.sim.now)
+        return future
+
+    def _send_read_request(
+        self, future: Future, location: str, started: float
+    ) -> None:
+        """Dispatch (or re-dispatch) one read miss to the owner."""
         request_id = self.next_request_id()
-        self._pending_reads[request_id] = (future, location, self.sim.now)
-        owner = self.namespace.owner(location)
+        self._pending_reads[request_id] = (future, location, started)
+        self._read_flight[request_id] = []
         self.network.send(
             self.node_id,
-            owner,
+            self.namespace.owner(location),
             ReadRequest(
                 request_id=request_id,
                 location=location,
                 unit=self.namespace.unit(location),
             ),
         )
-        return future
+
+    def _note_stamp(self, stamp: VectorClock) -> None:
+        """Log a just-merged foreign stamp for reads whose reply is in flight.
+
+        The protocol's cache invariant — no cached entry is strictly
+        older than a stamp this node has merged — is maintained by the
+        invalidation sweep, which only sees entries *present* when the
+        stamp arrives.  A read reply in flight at that moment missed the
+        sweep: its payloads may be strictly older than knowledge this
+        node has since gained (certifying a peer's batch, another reply,
+        a write ack).  _complete_read replays the missed sweeps against
+        each payload before trusting it.
+        """
+        if self._read_flight:
+            for log in self._read_flight.values():
+                log.append(stamp)
+
+    @staticmethod
+    def _overtaken(stamp: VectorClock, flight: List[VectorClock]) -> bool:
+        """Would any sweep missed while in flight have killed this stamp?"""
+        for merged in flight:
+            if stamp.compare(merged) == LESS:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # w_i(x)v  (Figure 4, second procedure)
@@ -247,6 +287,12 @@ class CausalOwnerNode(DSMNode):
         if self.store.owns(location):
             entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
             self.store.put(location, entry)
+            if self.batching and self._wb_uncertified:
+                # This entry's stamp cannot yet cover the certified
+                # stamps of the queued writes it follows in program
+                # order; serving it as-is would under-inform readers'
+                # invalidation sweeps.  Patch it as acks arrive.
+                self._wb_owned_stale[location] = None
             self.stats.local_writes += 1
             self._record_write(location, value, entry)
             self._notify_watchers(location, value)
@@ -404,8 +450,33 @@ class CausalOwnerNode(DSMNode):
 
     def _complete_read(self, msg: ReadReply) -> None:
         future, location, started = self._pending_reads.pop(msg.request_id)
+        flight = self._read_flight.pop(msg.request_id)
         # VT_i := update(VT_i, VT')
         self.vt = self.vt.update(msg.stamp)
+        self._note_stamp(msg.stamp)
+        if flight:
+            requested = next(
+                p for p in msg.entries if p.location == location
+            )
+            if self._overtaken(requested.stamp, flight):
+                # The reply was overtaken: while it travelled, this node
+                # merged a stamp that strictly dominates the payload —
+                # had the value been cached it would have been swept, so
+                # returning (or caching) it now could serve a value a
+                # newer same-location write in our causal past already
+                # overwrote.  Ask the owner again; by now it has applied
+                # the write the dominating stamp carries word of.
+                self.stale_read_retries += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "proto", "read.stale_retry", node=self.node_id,
+                        clock=self.vt, location=location,
+                        requested_stamp=requested.stamp,
+                    )
+                if self.batching:
+                    self._wb_flush()
+                self._send_read_request(future, location, started)
+                return
         requested_entry: Optional[MemoryEntry] = None
         if self.no_cache:
             for payload in msg.entries:
@@ -417,7 +488,14 @@ class CausalOwnerNode(DSMNode):
                     )
         else:
             # forall y in C_i : M_i[y].VT < VT'  =>  M_i[y] := bottom
-            installed = [payload.location for payload in msg.entries]
+            # Page-mates overtaken in flight (see _note_stamp) are
+            # treated as not shipped: not installed, not kept.
+            fresh = [
+                payload for payload in msg.entries
+                if not flight or payload.location == location
+                or not self._overtaken(payload.stamp, flight)
+            ]
+            installed = [payload.location for payload in fresh]
             swept = self.store.invalidate_older_than(msg.stamp, keep=installed)
             if self.obs is not None and swept:
                 # The triggering write is the requested payload's: its
@@ -433,7 +511,7 @@ class CausalOwnerNode(DSMNode):
                              requested.stamp[requested.writer]]
                     if requested.writer >= 0 else None,
                 )
-            for payload in msg.entries:
+            for payload in fresh:
                 if self.batching and self._tentative_is_newer(
                     payload.location, payload.stamp
                 ):
@@ -476,6 +554,7 @@ class CausalOwnerNode(DSMNode):
             )
         # VT_i := update(VT_i, VT)
         self.vt = self.vt.update(msg.stamp)
+        self._note_stamp(msg.stamp)
         current = self.store.get(msg.location)
         assert current is not None
         if current.stamp.compare(msg.stamp) == CONCURRENT:
@@ -494,7 +573,10 @@ class CausalOwnerNode(DSMNode):
             self.store.put(msg.location, entry)
             self._notify_watchers(msg.location, msg.value)
             # forall y in C_i : M_i[y].VT < VT_i  =>  M_i[y] := bottom
-            swept = self.store.invalidate_older_than(self.vt)
+            # (sparing dirty write-behind lines msg.stamp cannot cover)
+            swept = self.store.invalidate_older_than(
+                self.vt, keep=self._dirty_keep(msg.stamp)
+            )
             if self.obs is not None and swept:
                 self.obs.emit(
                     "proto", "inv.sweep", node=self.node_id, clock=self.vt,
@@ -536,6 +618,7 @@ class CausalOwnerNode(DSMNode):
         future, location, value, started = self._pending_writes.pop(msg.request_id)
         # VT_i := update(VT_i, VT')
         self.vt = self.vt.update(msg.stamp)
+        self._note_stamp(msg.stamp)
         if future is None:
             # Write-behind: the operation already completed; just refresh
             # the tentative cached entry to the canonical stamp.
@@ -579,6 +662,7 @@ class CausalOwnerNode(DSMNode):
             writer=msg.current.writer,
         )
         if not self.no_cache:
+            self._note_stamp(survivor.stamp)
             swept = self.store.invalidate_older_than(
                 survivor.stamp, keep=[location]
             )
@@ -609,6 +693,45 @@ class CausalOwnerNode(DSMNode):
             and cached.writer == self.node_id
             and cached.stamp[self.node_id] > stamp[self.node_id]
         )
+
+    def _dirty_keep(self, external: VectorClock) -> Optional[List[str]]:
+        """Dirty cache lines an owner-side sweep must spare.
+
+        A *dirty* line is a tentative own write whose certification is
+        still queued or in flight.  Sweeping with ``self.vt`` would kill
+        it immediately — ``vt``'s own component always covers the write's
+        sequence number, so the entry is "strictly older" by
+        self-knowledge alone — and the next read would miss and fetch
+        pre-write state from the owner: a read-your-writes violation.
+
+        The exemption is exact, not conservative: a write overwriting the
+        dirty line causally follows its certification, so any external
+        stamp carrying such an overwrite satisfies
+        ``external[me] >= seq``.  Lines whose seq the external stamp does
+        cover are left to the normal sweep comparison (the owner really
+        certified them; the ack is merely in flight).
+        """
+        if not self._wb_uncertified:
+            return None
+        me = self.node_id
+        bound = external[me]
+        uncertified = self._wb_uncertified
+        store = self.store
+        keep: List[str] = []
+        runs = self._wb_runs
+        if self._wb_outstanding is not None:
+            runs = [self._wb_outstanding, *runs]
+        for run in runs:
+            for queued in run.writes:
+                cached = store.get(queued.location)
+                if (
+                    cached is not None
+                    and cached.writer == me
+                    and cached.stamp[me] in uncertified
+                    and cached.stamp[me] > bound
+                ):
+                    keep.append(queued.location)
+        return keep or None
 
     def _visible_vt(self) -> VectorClock:
         """This node's vector time with the own component clamped to the
@@ -778,6 +901,7 @@ class CausalOwnerNode(DSMNode):
                 f"{msg.location!r} owned by {self.namespace.owner(msg.location)}"
             )
         self.vt = self.vt.update(msg.stamp)
+        self._note_stamp(msg.stamp)
         current = self.store.get(msg.location)
         assert current is not None
         if current.stamp.compare(msg.stamp) == CONCURRENT:
@@ -796,7 +920,11 @@ class CausalOwnerNode(DSMNode):
             entry = MemoryEntry(value=msg.value, stamp=stamp, writer=src)
             self.store.put(msg.location, entry)
             self._notify_watchers(msg.location, msg.value)
-            swept = self.store.invalidate_older_than(self.vt)
+            # Spare dirty write-behind lines msg.stamp cannot cover; see
+            # _dirty_keep (self.vt alone would kill our own queued writes).
+            swept = self.store.invalidate_older_than(
+                self.vt, keep=self._dirty_keep(msg.stamp)
+            )
             if self.obs is not None and swept:
                 self.obs.emit(
                     "proto", "inv.sweep", node=self.node_id, clock=self.vt,
@@ -829,6 +957,80 @@ class CausalOwnerNode(DSMNode):
             current=survivor_payload,
         )
 
+    def _restamp_owned(self, replies: Tuple[BatchedWriteReply, ...]) -> None:
+        """Fold freshly certified stamps into later own local writes.
+
+        A local write to an owned location performed while earlier own
+        writes sat uncertified was stamped without their *certified*
+        stamps — program order says it causally follows them, but only
+        the owner knows the stamp each one certifies at.  Served as-is,
+        such an entry under-informs readers: the reply tells them the
+        preceding writes exist (our own component counts them) but not
+        what they dominate, so the readers' sweeps cannot invalidate
+        values those writes overwrote — a Definition 2 violation once a
+        reader holds such a stale line.  After every certification ack,
+        merge each certified stamp into the entries of own local writes
+        that follow it, restoring ``M_i[x].VT >= VT(w)`` for every write
+        ``w`` preceding ``x``'s write in program order.
+        """
+        me = self.node_id
+        still_stale: Dict[str, None] = {}
+        floor = min(self._wb_uncertified) if self._wb_uncertified else None
+        for location in self._wb_owned_stale:
+            entry = self.store.get(location)
+            if entry is None or entry.writer != me:
+                # Overwritten by a certified foreign write whose stamp
+                # came enriched from its owner; nothing left to patch.
+                continue
+            seq = entry.stamp[me]
+            stamp = entry.stamp
+            for sub in replies:
+                # Only writes preceding this one in program order are
+                # part of its causal past (a batch can certify writes
+                # queued after the local write happened).
+                if sub.stamp[me] < seq:
+                    stamp = stamp.update(sub.stamp)
+            if stamp is not entry.stamp:
+                self.store.put(
+                    location,
+                    MemoryEntry(value=entry.value, stamp=stamp, writer=me),
+                )
+            if floor is not None and floor < seq:
+                # Some write preceding this one is still uncertified;
+                # keep patching on the next ack.
+                still_stale[location] = None
+        self._wb_owned_stale = still_stale
+
+    def _restamp_queued(self, replies: Tuple[BatchedWriteReply, ...]) -> None:
+        """Fold freshly certified stamps into still-queued writes.
+
+        The stamp a queued write ships to its owner is frozen at enqueue
+        time.  If earlier own writes were uncertified then, the frozen
+        stamp omits their certified stamps, and — when those writes
+        certify at a *different* owner — so does the stamp this write
+        eventually certifies at (our own component counts them, but the
+        components their certification added are lost).  Readers of the
+        under-stamped write then cannot invalidate values the earlier
+        writes overwrote.  Runs are ack-chained, so patching the queue
+        on every ack (before the next flush) is enough: every batch
+        leaves carrying the certified stamps of all program-order
+        predecessors certified so far.
+        """
+        me = self.node_id
+        for run in self._wb_runs:
+            for i, queued in enumerate(run.writes):
+                stamp = queued.stamp
+                for sub in replies:
+                    if sub.stamp[me] < queued.seq:
+                        stamp = stamp.update(sub.stamp)
+                if stamp is not queued.stamp:
+                    run.writes[i] = _QueuedWrite(
+                        location=queued.location,
+                        value=queued.value,
+                        stamp=stamp,
+                        seq=queued.seq,
+                    )
+
     def _complete_write_batch(self, msg: WriteBatchReply) -> None:
         run = self._wb_outstanding
         if run is None or run.request_id != msg.request_id:
@@ -837,6 +1039,7 @@ class CausalOwnerNode(DSMNode):
             )
         self._wb_outstanding = None
         self.vt = self.vt.update(msg.stamp)
+        self._note_stamp(msg.stamp)
         if self.obs is not None:
             self.obs.emit(
                 "proto", "wb.ack", node=self.node_id, clock=self.vt,
@@ -844,6 +1047,7 @@ class CausalOwnerNode(DSMNode):
             )
         for queued, sub in zip(run.writes, msg.replies):
             self.vt = self.vt.update(sub.stamp)
+            self._note_stamp(sub.stamp)
             if sub.applied:
                 # Refresh the tentative entry to the canonical stamp —
                 # unless a newer own write to the location is queued
@@ -887,6 +1091,7 @@ class CausalOwnerNode(DSMNode):
                 stamp=sub.current.stamp,
                 writer=sub.current.writer,
             )
+            self._note_stamp(survivor.stamp)
             swept = self.store.invalidate_older_than(
                 survivor.stamp, keep=[queued.location]
             )
@@ -902,7 +1107,10 @@ class CausalOwnerNode(DSMNode):
             self._notify_watchers(queued.location, survivor.value)
         for seq in run.seqs:
             self._wb_uncertified.discard(seq)
+        if self._wb_owned_stale:
+            self._restamp_owned(msg.replies)
         if self._wb_runs:
+            self._restamp_queued(msg.replies)
             # Ack-chained: launch the next run in the same instant.
             self._wb_flush()
         elif not self._wb_uncertified and self._wb_deferred_reads:

@@ -47,7 +47,7 @@ the encoder automatically falls back to the full form whenever more than
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clocks import VectorClock
@@ -126,6 +126,20 @@ def stamp_delta_bytes(changed: int) -> int:
 
 def _delta_beats_full(changed: int, dimension: int) -> bool:
     return stamp_delta_bytes(changed) < stamp_full_bytes(dimension)
+
+
+#: Interned zero-entry delta stamps by dimension ("nothing changed" is
+#: the most common encoding; see WireCodec.encode).
+_EMPTY_DELTAS: Dict[int, "EncodedStamp"] = {}
+
+
+def _empty_delta(dimension: int) -> "EncodedStamp":
+    token = _EMPTY_DELTAS.get(dimension)
+    if token is None:
+        token = _EMPTY_DELTAS[dimension] = EncodedStamp(
+            entries=(), full=False, dimension=dimension
+        )
+    return token
 
 
 # ----------------------------------------------------------------------
@@ -243,6 +257,21 @@ def _entry_payload_body(payload) -> int:
     return location_bytes(payload.location) + value_bytes(payload.value) + ID_BYTES
 
 
+def _restamped(msg, **changes):
+    """``dataclasses.replace`` minus the signature machinery.
+
+    Every stamped message is rebuilt twice per hop (stamp-stripped at
+    encode, stamp-restored at decode), and ``dataclasses.replace``'s
+    field introspection dominated the wire profile.  The message dataclasses
+    define no ``__post_init__`` and no ``__slots__``, so a shallow
+    ``__dict__`` copy constructs the identical frozen instance.
+    """
+    clone = object.__new__(type(msg))
+    clone.__dict__.update(msg.__dict__)
+    clone.__dict__.update(changes)
+    return clone
+
+
 def _build_plans() -> None:
     from repro.protocols import messages as m
 
@@ -271,10 +300,10 @@ def _build_plans() -> None:
 
     def _read_reply_rebuild(msg, stamps):
         entries = tuple(
-            replace(entry, stamp=stamp)
+            _restamped(entry, stamp=stamp)
             for entry, stamp in zip(msg.entries, stamps)
         )
-        return replace(msg, entries=entries, stamp=stamps[-1])
+        return _restamped(msg, entries=entries, stamp=stamps[-1])
 
     def _read_reply_cost(msg, _f=H + ID + 4, _pe=2 + ID):
         dim = msg.stamp.dimension
@@ -302,7 +331,7 @@ def _build_plans() -> None:
         body=lambda msg: ID_BYTES + location_bytes(msg.location)
         + value_bytes(msg.value),
         stamps=lambda msg: [msg.stamp],
-        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        rebuild=lambda msg, stamps: _restamped(msg, stamp=stamps[0]),
         cost=_write_request_cost,
     ))
 
@@ -315,8 +344,8 @@ def _build_plans() -> None:
     def _write_reply_rebuild(msg, stamps):
         current = msg.current
         if current is not None:
-            current = replace(current, stamp=stamps[1])
-        return replace(msg, stamp=stamps[0], current=current)
+            current = _restamped(current, stamp=stamps[1])
+        return _restamped(msg, stamp=stamps[0], current=current)
 
     def _write_reply_cost(msg, _f=H + ID + 3 + SC, _pe=2 + ID):
         dim = msg.stamp.dimension
@@ -346,9 +375,9 @@ def _build_plans() -> None:
 
     def _wb_rebuild(msg, stamps):
         writes = tuple(
-            replace(w, stamp=stamp) for w, stamp in zip(msg.writes, stamps)
+            _restamped(w, stamp=stamp) for w, stamp in zip(msg.writes, stamps)
         )
-        return replace(msg, writes=writes)
+        return _restamped(msg, writes=writes)
 
     def _wb_cost(msg, _f=H + ID + 2, _ps=SUB + 2 + SC):
         writes = msg.writes
@@ -392,10 +421,10 @@ def _build_plans() -> None:
             index += 1
             current = sub.current
             if current is not None:
-                current = replace(current, stamp=stamps[index])
+                current = _restamped(current, stamp=stamps[index])
                 index += 1
-            rebuilt.append(replace(sub, stamp=stamp, current=current))
-        return replace(msg, replies=tuple(rebuilt), stamp=stamps[index])
+            rebuilt.append(_restamped(sub, stamp=stamp, current=current))
+        return _restamped(msg, replies=tuple(rebuilt), stamp=stamps[index])
 
     def _wbr_cost(msg, _f=H + ID + 2 + SC, _ps=SUB + 3 + SC, _pe=2 + ID):
         dim = msg.stamp.dimension
@@ -437,7 +466,7 @@ def _build_plans() -> None:
         body=lambda msg: ID_BYTES + location_bytes(msg.location)
         + value_bytes(msg.value) + ID_BYTES,
         stamps=lambda msg: [msg.stamp],
-        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        rebuild=lambda msg, stamps: _restamped(msg, stamp=stamps[0]),
         cost=_stamped_reply_cost,
     ))
     _register(m.AtomicWriteRequest, _WirePlan(
@@ -475,7 +504,7 @@ def _build_plans() -> None:
         body=lambda msg: ID_BYTES + location_bytes(msg.location)
         + value_bytes(msg.value) + ID_BYTES,
         stamps=lambda msg: [msg.stamp],
-        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        rebuild=lambda msg, stamps: _restamped(msg, stamp=stamps[0]),
         cost=_stamped_reply_cost,
     ))
 
@@ -484,7 +513,7 @@ def _build_plans() -> None:
         body=lambda msg: ID_BYTES + ID_BYTES + location_bytes(msg.location)
         + value_bytes(msg.value),
         stamps=lambda msg: [msg.stamp],
-        rebuild=lambda msg, stamps: replace(msg, stamp=stamps[0]),
+        rebuild=lambda msg, stamps: _restamped(msg, stamp=stamps[0]),
         cost=_stamped_reply_cost,
     ))
 
@@ -497,9 +526,9 @@ def _build_plans() -> None:
 
     def _bb_rebuild(msg, stamps):
         writes = tuple(
-            replace(w, stamp=stamp) for w, stamp in zip(msg.writes, stamps)
+            _restamped(w, stamp=stamp) for w, stamp in zip(msg.writes, stamps)
         )
-        return replace(msg, writes=writes)
+        return _restamped(msg, writes=writes)
 
     def _bb_cost(msg, _f=H + ID + 2, _ps=SUB + ID + 2 + SC):
         writes = msg.writes
@@ -682,30 +711,42 @@ class WireCodec:
             components = stamp.components
             dimension = len(components)
             full_equivalent += dimension
+            self.stamps_encoded += 1
             if basis is None or len(basis) != dimension:
                 encoded = EncodedStamp(
                     entries=components, full=True, dimension=dimension
                 )
+                nbytes += stamp_full_bytes(dimension)
+                carried += dimension
+                self.stamps_full += 1
+            elif components == basis:
+                # Unchanged stamp — half of all stamps in batched runs
+                # (a reply echoing the request's merged clock).  One
+                # C-level tuple compare instead of the component diff
+                # loop, and the zero-entry token is interned.
+                encoded = _empty_delta(dimension)
+                nbytes += STAMP_COUNT_BYTES
             else:
                 changed: List[int] = []
                 for index, (new, old) in enumerate(zip(components, basis)):
                     if new != old:
                         changed.append(index)
                         changed.append(new)
-                if _delta_beats_full(len(changed) // 2, dimension):
+                n_changed = len(changed) // 2
+                if _delta_beats_full(n_changed, dimension):
                     encoded = EncodedStamp(
                         entries=tuple(changed), full=False, dimension=dimension
                     )
+                    nbytes += stamp_delta_bytes(n_changed)
+                    carried += n_changed
                 else:
                     encoded = EncodedStamp(
                         entries=components, full=True, dimension=dimension
                     )
+                    nbytes += stamp_full_bytes(dimension)
+                    carried += dimension
+                    self.stamps_full += 1
             encoded_stamps.append(encoded)
-            nbytes += encoded.byte_size
-            carried += encoded.carried_entries
-            self.stamps_encoded += 1
-            if encoded.full:
-                self.stamps_full += 1
             basis = components
         state.basis = basis
         self.entries_carried += carried

@@ -57,6 +57,7 @@ class Network:
         trace_messages: bool = False,
         send_service_time: float = 0.0,
         codec: Optional[object] = None,
+        batch_delivery: bool = False,
     ):
         if send_service_time < 0:
             raise NetworkError(
@@ -89,6 +90,10 @@ class Network:
         self._drop_rate: float = 0.0
         self._seq = 0
         self._rng = sim.derived_rng("network")
+        #: When True, :meth:`send_fanout` groups a fan-out's same-instant
+        #: deliveries into one kernel heap entry (event-order equivalent
+        #: to individual sends; see :meth:`send_fanout`).
+        self.batch_delivery = batch_delivery
         #: Attached TraceCollector, or None (all emits are guarded).
         self.obs = None
 
@@ -165,6 +170,63 @@ class Network:
         The message object must expose a ``kind`` attribute (a short string)
         used for counting; protocol message dataclasses all do.
         """
+        prepared = self._prepare(src, dst, message)
+        if prepared is None:
+            return
+        deliver_at, payload, kind = prepared
+        self.sim.schedule_at(
+            deliver_at,
+            lambda: self._deliver(src, dst, payload),
+            tag=("deliver", src, dst, kind),
+        )
+
+    def send_fanout(self, src: int, dsts, message: object) -> None:
+        """Send one message to several destinations (a broadcast fan-out).
+
+        Semantically identical to ``send`` in destination order.  With
+        :attr:`batch_delivery` enabled, deliveries landing at the same
+        instant are scheduled as ONE kernel heap entry
+        (:meth:`~repro.sim.kernel.Simulator.schedule_batch_at`), which
+        amortises heap churn and trace emission across the group.
+
+        Event-order equivalence: individually scheduled fan-out events
+        carry consecutive sequence numbers, so no foreign same-time event
+        can pop between them; running them back-to-back inside one entry
+        executes the identical global callback order.  Deliveries clamped
+        to distinct times (per-channel FIFO floors) stay separate events.
+        """
+        groups: Dict[float, list] = {}
+        for dst in dsts:
+            prepared = self._prepare(src, dst, message)
+            if prepared is None:
+                continue
+            deliver_at, payload, kind = prepared
+            groups.setdefault(deliver_at, []).append((dst, payload, kind))
+        for deliver_at, group in groups.items():
+            if self.batch_delivery and len(group) > 1:
+                deliver = self._deliver
+                self.sim.schedule_batch_at(
+                    deliver_at,
+                    [
+                        (lambda d=dst, p=payload: deliver(src, d, p))
+                        for dst, payload, kind in group
+                    ],
+                    tag=(
+                        "deliver_batch", src,
+                        tuple(dst for dst, _, _ in group), group[0][2],
+                    ),
+                )
+            else:
+                for dst, payload, kind in group:
+                    self.sim.schedule_at(
+                        deliver_at,
+                        lambda d=dst, p=payload: self._deliver(src, d, p),
+                        tag=("deliver", src, dst, kind),
+                    )
+
+    def _prepare(self, src: int, dst: int, message: object):
+        """Account, encode, and time one message; returns the delivery
+        ``(deliver_at, payload, kind)`` or None when the message drops."""
         if dst not in self._handlers:
             raise NetworkError(f"message to unregistered node {dst}")
         if src not in self._handlers:
@@ -208,7 +270,7 @@ class Network:
                     "net", "drop", node=src,
                     kind=kind, src=src, dst=dst, bytes=nbytes,
                 )
-            return
+            return None
 
         if self.codec is not None:
             frame = self.codec.encode(src, dst, message)
@@ -259,11 +321,7 @@ class Network:
                 "net", "send", node=src, dur=deliver_at - now,
                 kind=kind, src=src, dst=dst, bytes=nbytes,
             )
-        self.sim.schedule_at(
-            deliver_at,
-            lambda: self._deliver(src, dst, payload),
-            tag=("deliver", src, dst, kind),
-        )
+        return deliver_at, payload, kind
 
     def _deliver(self, src: int, dst: int, payload: object) -> None:
         if dst in self._crashed:

@@ -111,8 +111,8 @@ def test_smoke_suite_includes_bandwidth_section():
     assert bandwidth["fastpath"]["batch_occupancy"] >= 1.0
 
 
-def _v4_file(path, labels):
-    """A trajectory saved at the current schema (v4)."""
+def _v5_file(path, labels):
+    """A trajectory saved at the current schema (v5)."""
     trajectory = BenchTrajectory()
     for label in labels:
         trajectory.append(
@@ -122,11 +122,29 @@ def _v4_file(path, labels):
     return path.read_text()
 
 
-def test_saved_files_carry_schema_v4():
-    assert SCHEMA_VERSION == 4
+def test_saved_files_carry_schema_v5():
+    assert SCHEMA_VERSION == 5
 
 
-@pytest.mark.parametrize("schema", [1, 2, 3])
+def test_v5_substrate_section_round_trips(tmp_path):
+    """The v5 ``substrate.vectorised`` subtree survives save/load."""
+    file = tmp_path / "v5.json"
+    vectorised = {
+        "n=64": {
+            "sweep": {"speedup": 4.5, "masks_equal": True},
+            "protocol": {"speedup": 0.95},
+        }
+    }
+    trajectory = BenchTrajectory()
+    trajectory.append(
+        BenchRecord("pr7", "t0", {"substrate": {"vectorised": vectorised}})
+    )
+    trajectory.save(file)
+    loaded = BenchTrajectory.load(file)
+    assert loaded.latest().metrics["substrate"]["vectorised"] == vectorised
+
+
+@pytest.mark.parametrize("schema", [1, 2, 3, 4])
 def test_older_schema_files_load_unchanged(tmp_path, schema):
     legacy = tmp_path / f"v{schema}.json"
     legacy.write_text(json.dumps({
@@ -154,7 +172,7 @@ def test_older_schema_files_load_unchanged(tmp_path, schema):
 
 def test_truncated_file_rejected_then_repaired(tmp_path):
     file = tmp_path / "trunc.json"
-    text = _v4_file(file, ["one", "two"])
+    text = _v5_file(file, ["one", "two"])
     # Kill the writer mid-flight: drop the tail of the second run object.
     file.write_text(text[: int(len(text) * 0.7)])
     with pytest.raises(ReproError, match="repair=True"):
@@ -166,7 +184,7 @@ def test_truncated_file_rejected_then_repaired(tmp_path):
 def test_concatenated_documents_rejected_then_merged(tmp_path):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     file = tmp_path / "both.json"
-    file.write_text(_v4_file(a, ["first"]) + _v4_file(b, ["second"]))
+    file.write_text(_v5_file(a, ["first"]) + _v5_file(b, ["second"]))
     with pytest.raises(ReproError, match="concatenated"):
         BenchTrajectory.load(file)
     merged = BenchTrajectory.load(file, repair=True)
@@ -177,8 +195,8 @@ def test_repair_does_not_double_count_complete_documents(tmp_path):
     """A complete document followed by a truncated one must yield the
     complete document's runs exactly once plus the salvageable tail."""
     a, b = tmp_path / "a.json", tmp_path / "b.json"
-    whole = _v4_file(a, ["kept"])
-    tail = _v4_file(b, ["salvaged", "lost"])
+    whole = _v5_file(a, ["kept"])
+    tail = _v5_file(b, ["salvaged", "lost"])
     file = tmp_path / "mixed.json"
     file.write_text(whole + tail[: int(len(tail) * 0.7)])
     repaired = BenchTrajectory.load(file, repair=True)
@@ -187,7 +205,7 @@ def test_repair_does_not_double_count_complete_documents(tmp_path):
 
 def test_save_is_atomic_and_leaves_no_temp_file(tmp_path):
     file = tmp_path / "out.json"
-    _v4_file(file, ["a"])
+    _v5_file(file, ["a"])
     assert json.loads(file.read_text())["schema"] == SCHEMA_VERSION
     assert list(tmp_path.iterdir()) == [file]
 

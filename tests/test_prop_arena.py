@@ -1,0 +1,336 @@
+"""Lockstep properties of the vectorised writestamp substrate.
+
+Three layers, each holding the numpy fast path to byte-identical
+equivalence with the scalar code it replaces (DESIGN.md §4.9):
+
+* **operators** — hypothesis drives :class:`~repro.clocks.arena.ClockArena`
+  and :class:`~repro.clocks.arena.PyClockArena` against the
+  ``VectorClock`` operators: every batched mask, merge, and
+  classification must equal the per-clock loop, and the two backends
+  must equal each other through alloc/free slot churn;
+* **executions** — full random workloads run twice, once per
+  ``arena_backend`` (causal owner in every option combination, and the
+  CBCAST engine under a slow link that piles held-back messages past
+  the vectorised-scan threshold): recorded histories must be identical
+  operation for operation, and batch delivery must not change them;
+* **kernel** — ``schedule_batch`` fires callbacks in exactly the order
+  the equivalent ``schedule`` loop would, and ``send_fanout`` delivers
+  what per-destination ``send`` calls would.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import check_causal
+from repro.clocks import VectorClock
+from repro.clocks.arena import (
+    ClockArena,
+    HAVE_NUMPY,
+    PyClockArena,
+    make_arena,
+    resolve_backend,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.latency import PerLinkLatency
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy absent")
+
+DIMS = st.integers(min_value=1, max_value=9)
+COUNTER = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def row_sets(draw):
+    """A dimension, some rows of that dimension, and a probe stamp."""
+    dimension = draw(DIMS)
+    vector = st.lists(COUNTER, min_size=dimension, max_size=dimension)
+    rows = draw(st.lists(vector, min_size=0, max_size=12))
+    probe = draw(vector)
+    return dimension, rows, probe
+
+
+def scalar_older(row, probe):
+    return VectorClock(row) < VectorClock(probe)
+
+
+def scalar_dominated(row, probe):
+    clock = VectorClock(row)
+    other = VectorClock(probe)
+    return clock < other or clock == other
+
+
+@settings(deadline=None, max_examples=150)
+@given(row_sets())
+def test_arena_masks_match_vector_clock_operators(data):
+    dimension, rows, probe = data
+    for arena_cls in ([PyClockArena, ClockArena] if HAVE_NUMPY
+                      else [PyClockArena]):
+        arena = arena_cls(dimension)
+        slots = [arena.alloc(row) for row in rows]
+        assert arena.older_mask(slots, probe) == [
+            scalar_older(row, probe) for row in rows
+        ]
+        assert arena.dominated_mask(slots, probe) == [
+            scalar_dominated(row, probe) for row in rows
+        ]
+        merged = arena.merge_rows(slots)
+        want = functools.reduce(
+            lambda a, b: a.update(VectorClock(b)),
+            rows,
+            VectorClock.zero(dimension),
+        )
+        assert merged == want.components
+        for slot, row in zip(slots, rows):
+            assert arena.components(slot) == tuple(row)
+            assert arena.clock(slot) == VectorClock(row)
+
+
+@settings(deadline=None, max_examples=150)
+@given(row_sets())
+def test_arena_classify_matches_compare(data):
+    dimension, rows, probe = data
+    for arena_cls in ([PyClockArena, ClockArena] if HAVE_NUMPY
+                      else [PyClockArena]):
+        arena = arena_cls(dimension)
+        for row in rows:
+            assert arena.classify(row, probe) == VectorClock(row).compare(
+                VectorClock(probe)
+            )
+
+
+@requires_numpy
+@settings(deadline=None, max_examples=60)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free", "write", "merge"]),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+)
+def test_backends_stay_lockstep_through_slot_churn(dimension, script):
+    """alloc/free/write/merge interleavings leave both backends equal."""
+    py, np_ = PyClockArena(dimension), ClockArena(dimension)
+    live = []
+    for action, payload in script:
+        components = [
+            (payload >> (3 * i)) & 0x7 for i in range(dimension)
+        ]
+        if action == "alloc" or not live:
+            a, b = py.alloc(components), np_.alloc(components)
+            assert a == b  # identical free-list discipline
+            live.append(a)
+        elif action == "free":
+            slot = live.pop(payload % len(live))
+            py.free(slot)
+            np_.free(slot)
+        elif action == "write":
+            slot = live[payload % len(live)]
+            py.write(slot, components)
+            np_.write(slot, components)
+        else:
+            slot = live[payload % len(live)]
+            py.merge(slot, components)
+            np_.merge(slot, components)
+        assert len(py) == len(np_)
+        for slot in live:
+            assert py.components(slot) == np_.components(slot)
+        probe = components
+        assert py.older_mask(live, probe) == np_.older_mask(live, probe)
+        assert py.dominated_mask(live, probe) == np_.dominated_mask(
+            live, probe
+        )
+        assert py.merge_rows(live) == np_.merge_rows(live)
+
+
+def test_make_arena_and_env_selection(monkeypatch):
+    assert make_arena(3, "python").backend == "python"
+    monkeypatch.setenv("REPRO_ARENA_BACKEND", "python")
+    assert resolve_backend(None) == "python"
+    assert make_arena(3).backend == "python"
+    monkeypatch.delenv("REPRO_ARENA_BACKEND")
+    if HAVE_NUMPY:
+        assert make_arena(3, "numpy").backend == "numpy"
+        assert resolve_backend("auto") == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Execution-level lockstep: scalar and vectorised backends must record
+# byte-identical histories.
+# ----------------------------------------------------------------------
+def history_fingerprint(outcome):
+    return [
+        (op.proc, op.index, op.kind, op.location, op.value,
+         op.write_id, op.read_from)
+        for op in outcome.history.operations()
+    ]
+
+
+OPTION_GRID = [
+    dict(),
+    dict(batching=True),
+    dict(batching=True, delta_stamps=True),
+    dict(no_cache=True),
+]
+
+
+@requires_numpy
+@pytest.mark.parametrize("options", OPTION_GRID)
+@pytest.mark.parametrize("seed", [3, 11, 58])
+def test_causal_histories_identical_across_backends(seed, options):
+    shape = dict(
+        n_nodes=4, n_locations=5, ops_per_proc=14,
+        read_fraction=0.5, discard_fraction=0.15, seed=seed,
+    )
+    runs = {
+        backend: run_random_execution(
+            WorkloadConfig(arena_backend=backend, **shape, **options)
+        )
+        for backend in ("python", "numpy")
+    }
+    assert (
+        history_fingerprint(runs["python"])
+        == history_fingerprint(runs["numpy"])
+    )
+    assert check_causal(runs["numpy"].history).ok
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [3, 11, 58])
+def test_batch_delivery_does_not_change_histories(seed):
+    shape = dict(
+        n_nodes=4, n_locations=5, ops_per_proc=14,
+        read_fraction=0.5, seed=seed,
+    )
+    plain = run_random_execution(WorkloadConfig(**shape))
+    batched = run_random_execution(
+        WorkloadConfig(batch_delivery=True, **shape)
+    )
+    assert history_fingerprint(plain) == history_fingerprint(batched)
+
+
+def broadcast_pileup(backend, n_nodes=5, writes=16):
+    """CBCAST with one slow link: a held-back pile grows at node 1.
+
+    Node 0's broadcasts reach node 1 last (40x link delay) while the
+    other writers — having already delivered them — keep broadcasting
+    writes that causally *depend* on them.  Those arrive at node 1
+    quickly and must be held back behind node 0's undelivered ones;
+    past ``_VEC_MIN_HELD`` the vectorised delivery scan engages
+    (asserted below), exercising exactly the path the scalar run walks
+    without it.  Writes are paced with sleeps: back-to-back broadcasts
+    all launch at t=0 and carry no cross-node dependencies, so nothing
+    would ever be held back.
+    """
+    from repro.protocols.base import DSMCluster
+    from repro.sim.tasks import sleep
+
+    latency = PerLinkLatency(default=1.0, links={(0, 1): 40.0})
+    cluster = DSMCluster(
+        n_nodes,
+        protocol="broadcast",
+        seed=9,
+        latency=latency,
+        record_history=True,
+        arena_backend=backend,
+    )
+
+    def writer(api, me):
+        for i in range(writes):
+            yield api.write(f"loc{i % 3}", (me, i))
+            yield api.read(f"loc{(i + me) % 3}")
+            yield sleep(cluster.sim, 2.0)
+
+    for node in range(n_nodes):
+        cluster.spawn(node, writer, node)
+    cluster.run()
+    return cluster
+
+
+@requires_numpy
+def test_broadcast_histories_identical_and_vec_scan_engages():
+    scalar = broadcast_pileup("python")
+    vector = broadcast_pileup("numpy")
+
+    def prints(cluster):
+        return [
+            (op.proc, op.index, op.kind, op.location, op.value,
+             op.write_id, op.read_from)
+            for op in cluster.history().operations()
+        ]
+
+    assert prints(scalar) == prints(vector)
+    assert sum(n.vec_delivery_scans for n in vector.nodes) > 0
+    assert sum(n.vec_delivery_scans for n in scalar.nodes) == 0
+
+
+# ----------------------------------------------------------------------
+# Kernel-level equivalence
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=5.0),
+                  st.integers(min_value=1, max_value=4)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_schedule_batch_matches_schedule_loop(groups):
+    """Batched same-instant callbacks fire in per-call order, like loops."""
+
+    def run(batched):
+        sim = Simulator()
+        fired = []
+        for gi, (delay, width) in enumerate(groups):
+            callbacks = [
+                (lambda g=gi, k=k: fired.append((g, k)))
+                for k in range(width)
+            ]
+            if batched:
+                sim.schedule_batch(delay, callbacks)
+            else:
+                for callback in callbacks:
+                    sim.schedule(delay, callback)
+        sim.run()
+        return fired
+
+    assert run(batched=True) == run(batched=False)
+
+
+def test_send_fanout_matches_individual_sends():
+    """Same seed, same payloads: fanout and per-dst sends deliver alike."""
+    from repro.protocols.base import DSMCluster
+
+    def run(batch_delivery):
+        cluster = DSMCluster(
+            4,
+            protocol="broadcast",
+            seed=21,
+            record_history=True,
+            batch_delivery=batch_delivery,
+        )
+
+        def process(api, me):
+            for i in range(10):
+                if (me + i) % 3 == 0:
+                    yield api.write(f"loc{i % 4}", (me, i))
+                else:
+                    yield api.read(f"loc{i % 4}")
+
+        for node in range(4):
+            cluster.spawn(node, process, node)
+        cluster.run()
+        return [
+            (op.proc, op.index, op.kind, op.location, op.value,
+             op.write_id, op.read_from)
+            for op in cluster.history().operations()
+        ]
+
+    assert run(batch_delivery=False) == run(batch_delivery=True)

@@ -20,6 +20,7 @@ import pytest
 from repro.apps.workload import WorkloadConfig, run_random_execution
 from repro.checker import check_causal
 from repro.clocks import VectorClock
+from repro.clocks.arena import HAVE_NUMPY
 from repro.memory.local_store import LocalStore, MemoryEntry
 from repro.memory.namespace import Namespace
 
@@ -125,11 +126,11 @@ def random_stamp(rng):
     return VectorClock([rng.randrange(0, 5) for _ in range(N_NODES)])
 
 
-def drive(seed, namespace_factory):
+def drive(seed, namespace_factory, backend=None):
     """One random op sequence applied to both stores, compared stepwise."""
     namespace, locations = namespace_factory()
     rng = random.Random(seed)
-    fast = LocalStore(0, namespace, n_nodes=N_NODES)
+    fast = LocalStore(0, namespace, n_nodes=N_NODES, backend=backend)
     naive = NaiveStore(0, namespace, n_nodes=N_NODES)
     unowned = [loc for loc in locations if not naive.owns(loc)]
     for step in range(80):
@@ -173,14 +174,19 @@ def drive(seed, namespace_factory):
         assert fast.discard_count == naive.discard_count, (seed, step)
 
 
-@pytest.mark.parametrize("seed", range(25))
-def test_optimised_sweep_matches_naive_word_granularity(seed):
-    drive(seed, word_namespace)
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", range(25))
-def test_optimised_sweep_matches_naive_page_granularity(seed):
-    drive(seed, paged_namespace)
+def test_optimised_sweep_matches_naive_word_granularity(seed, backend):
+    drive(seed, word_namespace, backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(25))
+def test_optimised_sweep_matches_naive_page_granularity(seed, backend):
+    drive(seed, paged_namespace, backend=backend)
 
 
 def test_watermark_actually_skips_redundant_sweeps():
