@@ -12,7 +12,7 @@ Schema (``schema`` is bumped on incompatible change; the reader accepts
 every version up to the current one)::
 
     {
-      "schema": 5,
+      "schema": 6,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -23,7 +23,11 @@ every version up to the current one)::
             "protocol": {"n=4": {"ops_per_sec": ..., "messages": ...,
                                   "sweeps_performed": ...,
                                   "sweeps_skipped": ...,
-                                  "invalidations": ...}, ...},
+                                  "invalidations": ...}, ...,
+                         "profile": {"workload": "n=16",
+                                      "total_time": ...,
+                                      "top": [{"function": ...,
+                                               "cumtime": ...}, ...]}},
             "checker": {"n=4": {"ops_per_sec": ..., "ops": ...}, ...},
             "bandwidth": {"n=8": {"baseline": {...}, "fastpath": {...},
                                    "bytes_per_op_reduction": ...,
@@ -66,6 +70,14 @@ Schema history:
   rows/sec per backend with the numpy/python speedup and a
   mask-equality canary, plus the end-to-end protocol ops/sec under
   each ``arena_backend``).  v1–v4 files load unchanged.
+* **6** — adds the optional ``protocol.profile`` section (written by
+  ``repro-bench --profile``): a cProfile top-N-by-cumulative-time table
+  of the largest-n protocol workload, recorded as
+  ``{"workload": "n=16", "total_time": ..., "sort": "cumulative",
+  "top": [{"function": ..., "file": ..., "line": ..., "ncalls": ...,
+  "tottime": ..., "cumtime": ...}, ...]}`` so the hot-spot ranking of
+  each revision rides along with its throughput numbers.  v1–v5 files
+  load unchanged.
 
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
@@ -91,12 +103,12 @@ from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Versions the reader understands.  Older files simply lack the
-#: optional ``bandwidth`` / ``obs`` / ``monitor`` / ``substrate``
-#: metric sections, so they load as-is.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
+#: optional ``bandwidth`` / ``obs`` / ``monitor`` / ``substrate`` /
+#: ``protocol.profile`` metric sections, so they load as-is.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 
 @dataclass(frozen=True)

@@ -44,7 +44,10 @@ numbers to a persistent JSON trajectory (``BENCH_substrate.json``, see
 
 ``--smoke`` shrinks the workloads so the whole run finishes in a few
 seconds — that mode is exercised by the tier-1 test suite, keeping the
-runner itself from bit-rotting.
+runner itself from bit-rotting.  ``--profile`` additionally runs the
+largest-n protocol workload once under :mod:`cProfile` and records the
+top-N cumulative-time table as ``protocol.profile`` (schema v6), so each
+revision's hot-spot ranking is preserved alongside its throughput.
 
 Examples
 --------
@@ -68,6 +71,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "run_suite",
+    "profile_protocol",
     "main",
     "DEFAULT_OUTPUT",
     "DEFAULT_NODE_COUNTS",
@@ -575,6 +579,65 @@ def bench_vectorised(
     return {"sweep": sweep, "protocol": protocol}
 
 
+def profile_protocol(
+    n_nodes: int, ops_per_proc: int, top: int = 15
+) -> Dict[str, Any]:
+    """cProfile the protocol workload; returns a top-N cumulative table.
+
+    One profiled run of the same mixed workload :func:`bench_protocol`
+    times (the profiler's tracing slows it ~40%, so the run is *not*
+    used for throughput numbers — it rides along purely to record where
+    the time goes).  The table is the first ``top`` rows of the
+    ``cumulative``-sorted stats, each row a plain dict so the JSON
+    trajectory can carry it (schema v6, ``protocol.profile``).
+    """
+    import cProfile
+    import pstats
+
+    from repro.protocols.base import DSMCluster
+
+    n_locations = 2 * n_nodes
+    cluster = DSMCluster(n_nodes, protocol="causal", record_history=False)
+
+    def process(api, me):
+        for i in range(ops_per_proc):
+            location = f"loc{(me + i) % n_locations}"
+            if i % 3 == 0:
+                yield api.write(location, i)
+            else:
+                yield api.read(location)
+
+    for node in range(n_nodes):
+        cluster.spawn(node, process, node)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    cluster.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[: top]:  # (file, line, name), sorted
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]
+        file, line, name = func
+        rows.append(
+            {
+                "function": name,
+                "file": file,
+                "line": line,
+                "ncalls": nc,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    return {
+        "workload": f"n={n_nodes}",
+        "ops": n_nodes * ops_per_proc,
+        "sort": "cumulative",
+        "total_time": round(stats.total_tt, 6),
+        "top": rows,
+    }
+
+
 def bench_checker(n_nodes: int, ops_per_proc: int, repeats: int) -> Dict[str, Any]:
     """Definition 2 verification of a recorded random execution."""
     from repro.apps.workload import WorkloadConfig, run_random_execution
@@ -664,12 +727,15 @@ def run_suite(
     smoke: bool = False,
     progress=None,
     substrate_nodes: Sequence[int] = DEFAULT_SUBSTRATE_NODES,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run every substrate benchmark; returns the metrics tree.
 
     ``smoke`` shrinks workload sizes and repeats so the suite finishes in
     seconds (the mode tier-1 tests run).  ``progress`` is an optional
-    ``callable(str)`` for per-section status lines.
+    ``callable(str)`` for per-section status lines.  ``profile`` adds a
+    cProfile pass over the largest-n protocol workload and records its
+    top-N cumulative table as ``protocol.profile`` (schema v6).
     """
     say = progress or (lambda message: None)
     # Best-of-5 in full mode: the trajectory is compared across PRs, so
@@ -690,6 +756,10 @@ def run_suite(
     for n in node_counts:
         say(f"protocol: n={n}, {protocol_ops} ops/proc x{repeats}")
         metrics["protocol"][f"n={n}"] = bench_protocol(n, protocol_ops, repeats)
+    if profile:
+        profile_n = max(node_counts)
+        say(f"protocol profile: n={profile_n}, {protocol_ops} ops/proc (cProfile)")
+        metrics["protocol"]["profile"] = profile_protocol(profile_n, protocol_ops)
     for n in node_counts:
         say(f"checker: n={n}, {checker_ops} ops/proc x{repeats}")
         metrics["checker"][f"n={n}"] = bench_checker(n, checker_ops, repeats)
@@ -725,7 +795,7 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
     ]
     for group in ("protocol", "checker"):
         for key, data in metrics[group].items():
-            if key == "memo":
+            if key in ("memo", "profile"):
                 continue
             extra = ""
             if "sweeps_performed" in data:
@@ -737,6 +807,16 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
             lines.append(
                 f"{group} {key:<8} {data['ops_per_sec']:>12,.0f} ops/s{extra}"
             )
+    prof = metrics.get("protocol", {}).get("profile")
+    if prof:
+        lines.append(
+            f"profile {prof['workload']:<9} {prof['total_time']:.3f}s total; "
+            + "top by cumtime: "
+            + ", ".join(
+                f"{row['function']} ({row['cumtime']:.3f}s)"
+                for row in prof["top"][:5]
+            )
+        )
     memo = metrics.get("checker", {}).get("memo")
     if memo:
         equal = "verdicts equal" if memo["verdicts_equal"] else "VERDICT DRIFT"
@@ -859,6 +939,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "also cProfile the largest-n protocol workload and record its "
+            "top-N cumulative table in the run (schema v6 'protocol.profile')"
+        ),
+    )
+    parser.add_argument(
         "--no-save",
         action="store_true",
         help="print the numbers without touching the trajectory file",
@@ -883,6 +971,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         smoke=args.smoke,
         progress=lambda message: print(f"... {message}", file=sys.stderr),
         substrate_nodes=tuple(args.substrate_nodes),
+        profile=args.profile,
     )
     record = BenchRecord(
         label=args.label or ("smoke" if args.smoke else "full"),

@@ -43,10 +43,9 @@ Performance notes (the invalidation sweep runs on every value install):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set
 
-from repro.clocks import LESS, EQUAL, VectorClock, make_arena
+from repro.clocks import EQUAL, VectorClock, make_arena
 from repro.errors import MemoryError_
 from repro.memory.namespace import Namespace
 
@@ -61,17 +60,46 @@ INITIAL_WRITER = -1
 _VEC_MIN = 8
 
 
-@dataclass(frozen=True)
 class MemoryEntry:
-    """One location's value, its writestamp, and who wrote it."""
+    """One location's value, its writestamp, and who wrote it.
 
-    value: Any
-    stamp: VectorClock
-    writer: int
+    A plain slotted record (one allocation, no ``__dict__``) rather than
+    a dataclass: entries are the highest-churn objects of the protocol
+    hot path.  Equality and hashing match the old frozen-dataclass
+    semantics.  Fields are writable so the store can refresh a
+    writestamp in place (:meth:`LocalStore.restamp`) when it already
+    owns the entry — but all mutation must go through the store, which
+    keeps the arena mirror and sweep watermark coherent.
+    """
+
+    __slots__ = ("value", "stamp", "writer")
+
+    def __init__(self, value: Any, stamp: VectorClock, writer: int):
+        self.value = value
+        self.stamp = stamp
+        self.writer = writer
 
     def older_than(self, stamp: VectorClock) -> bool:
         """Strictly older under the vector order (the invalidation test)."""
-        return self.stamp.compare(stamp) == LESS
+        return self.stamp.strictly_less(stamp)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryEntry):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.stamp == other.stamp
+            and self.writer == other.writer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.stamp, self.writer))
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryEntry(value={self.value!r}, stamp={self.stamp!r}, "
+            f"writer={self.writer!r})"
+        )
 
 
 class LocalStore:
@@ -203,6 +231,30 @@ class LocalStore:
                 owned=self.owns(location),
             )
 
+    def restamp(self, location: str, stamp: VectorClock) -> MemoryEntry:
+        """Refresh a present entry's writestamp in place (same value/writer).
+
+        The write-behind paths repeatedly replace an entry with an
+        identical value under a newer (certified or merged) stamp; this
+        mutates the store-owned entry instead of allocating a
+        replacement.  The arena mirror is marked stale exactly as a
+        re-install would, and a cached entry clears the sweep-watermark
+        guarantee (its stamp changed, so the next sweep must look).
+        """
+        entry = self._entries[location]
+        entry.stamp = stamp
+        if location in self._sweep_candidates:
+            self._arena_dirty[location] = None
+        if location in self._cached:
+            self._watermark_clean = False
+        if self.obs is not None:
+            self.obs.emit(
+                "store", "apply", node=self.node_id, clock=stamp,
+                location=location, writer=entry.writer,
+                owned=self.owns(location),
+            )
+        return entry
+
     def invalidate(self, location: str) -> None:
         """Set ``M_i[location] := bottom``.  Owned locations never can be."""
         if self.owns(location):
@@ -261,7 +313,7 @@ class LocalStore:
         if len(candidates) < _VEC_MIN:
             entries = self._entries
             mask = [
-                entries[location].stamp.compare(stamp) == LESS
+                entries[location].stamp.strictly_less(stamp)
                 for location in candidates
             ]
         else:

@@ -259,6 +259,12 @@ class DSMCluster:
         Install a :class:`~repro.protocols.wire.WireCodec` on the
         network so vector-clock fields are delta-encoded per channel
         (byte accounting only; message contents round-trip exactly).
+    wire_fast_lanes:
+        With ``delta_stamps``: use the codec's specialised encode lanes
+        for stampless and write-batch frames (the default).  ``False``
+        forces every frame through the generic per-field walk — same
+        bytes, same counters, only slower; exists so the lockstep
+        property suite can assert the equivalence.
     arena_backend:
         Writestamp-arena backend for every node's store and the
         vectorised delivery/sweep paths: ``"numpy"``, ``"python"``,
@@ -298,6 +304,7 @@ class DSMCluster:
         unsafe_write_behind: bool = False,
         batching: bool = False,
         delta_stamps: bool = False,
+        wire_fast_lanes: bool = True,
         arena_backend: Optional[str] = None,
         batch_delivery: bool = False,
     ):
@@ -313,7 +320,7 @@ class DSMCluster:
         if delta_stamps:
             from repro.protocols.wire import WireCodec
 
-            codec = WireCodec()
+            codec = WireCodec(fast_lanes=wire_fast_lanes)
         self.network = Network(
             self.sim,
             latency=latency,

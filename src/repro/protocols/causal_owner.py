@@ -73,7 +73,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.clocks import CONCURRENT, LESS, VectorClock
+from repro.clocks import CONCURRENT, VectorClock
 from repro.errors import ProtocolError
 from repro.memory.local_store import MemoryEntry
 from repro.protocols.base import DSMNode, WriteOutcome
@@ -199,10 +199,11 @@ class CausalOwnerNode(DSMNode):
     def read(self, location: str) -> Future:
         """Read ``location``; local on a hit, blocking request on a miss."""
         self.stats.reads += 1
-        future = Future(label=f"read:{self.node_id}:{location}")
-        if self.store.is_valid(location):
-            entry = self.store.get(location)
-            assert entry is not None
+        future = Future(label="read")
+        # get() returns None exactly when is_valid() is False (owned
+        # locations always materialise), so one lookup decides hit/miss.
+        entry = self.store.get(location)
+        if entry is not None:
             self.stats.local_read_hits += 1
             self._record_read(location, entry)
             if self.obs is not None:
@@ -263,7 +264,7 @@ class CausalOwnerNode(DSMNode):
     def _overtaken(stamp: VectorClock, flight: List[VectorClock]) -> bool:
         """Would any sweep missed while in flight have killed this stamp?"""
         for merged in flight:
-            if stamp.compare(merged) == LESS:
+            if stamp.strictly_less(merged):
                 return True
         return False
 
@@ -283,7 +284,7 @@ class CausalOwnerNode(DSMNode):
                 "proto", "op.write", node=self.node_id, clock=self.vt,
                 location=location, mode=mode,
             )
-        future = Future(label=f"write:{self.node_id}:{location}")
+        future = Future(label="write")
         if self.store.owns(location):
             entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
             self.store.put(location, entry)
@@ -629,12 +630,9 @@ class CausalOwnerNode(DSMNode):
                     and cached.writer == self.node_id
                     and cached.stamp[self.node_id] == msg.stamp[self.node_id]
                 ):
-                    self.store.put(
-                        location,
-                        MemoryEntry(
-                            value=value, stamp=msg.stamp, writer=self.node_id
-                        ),
-                    )
+                    # Same write (own component matches), same value and
+                    # writer — only the stamp changes, so restamp in place.
+                    self.store.restamp(location, msg.stamp)
             return
         self.stats.blocked_time += self.sim.now - started
         if msg.applied:
@@ -991,10 +989,8 @@ class CausalOwnerNode(DSMNode):
                 if sub.stamp[me] < seq:
                     stamp = stamp.update(sub.stamp)
             if stamp is not entry.stamp:
-                self.store.put(
-                    location,
-                    MemoryEntry(value=entry.value, stamp=stamp, writer=me),
-                )
+                # Value and writer are unchanged; only the stamp grows.
+                self.store.restamp(location, stamp)
             if floor is not None and floor < seq:
                 # Some write preceding this one is still uncertified;
                 # keep patching on the next ack.
@@ -1058,14 +1054,8 @@ class CausalOwnerNode(DSMNode):
                     and cached.writer == self.node_id
                     and cached.stamp[self.node_id] == sub.stamp[self.node_id]
                 ):
-                    self.store.put(
-                        queued.location,
-                        MemoryEntry(
-                            value=queued.value,
-                            stamp=sub.stamp,
-                            writer=self.node_id,
-                        ),
-                    )
+                    # Same tentative write; only its stamp is refreshed.
+                    self.store.restamp(queued.location, sub.stamp)
                 continue
             # Rejected by the owner's policy: adopt the surviving entry,
             # as the unbatched path does — except when a newer own write

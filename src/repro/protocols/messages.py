@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EntryPayload:
     """One (location, value, writestamp, writer) tuple inside a reply."""
 
@@ -55,7 +55,7 @@ class EntryPayload:
 # ----------------------------------------------------------------------
 # Causal owner protocol (Figure 4)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest:
     """``[READ, x]`` — a read miss asking the owner for a current copy."""
 
@@ -65,7 +65,7 @@ class ReadRequest:
     unit: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReply:
     """``[R_REPLY, x, v', VT']`` — the owner's copy.
 
@@ -82,7 +82,7 @@ class ReadReply:
     stamp: VectorClock
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest:
     """``[WRITE, x, v, VT_i]`` — ask the owner to certify a write."""
 
@@ -93,7 +93,7 @@ class WriteRequest:
     stamp: VectorClock
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteReply:
     """``[W_REPLY, x, v, VT']`` — certification result.
 
@@ -115,7 +115,7 @@ class WriteReply:
 # ----------------------------------------------------------------------
 # Batched causal owner protocol (the wire-level fast path)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteBatch:
     """A run of write-behind certifications for one owner, one frame.
 
@@ -130,7 +130,7 @@ class WriteBatch:
     writes: Tuple[WriteRequest, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchedWriteReply:
     """One certification outcome inside a :class:`WriteBatchReply`.
 
@@ -146,7 +146,7 @@ class BatchedWriteReply:
     current: Optional[EntryPayload] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteBatchReply:
     """The owner's piggybacked reply to a :class:`WriteBatch`.
 
@@ -165,7 +165,7 @@ class WriteBatchReply:
 # ----------------------------------------------------------------------
 # Atomic owner DSM baseline (Li–Hudak-style copyset invalidation)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicReadRequest:
     """Read miss; the owner will add the requester to the copyset."""
 
@@ -174,7 +174,7 @@ class AtomicReadRequest:
     location: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicReadReply:
     """Owner's current value for a read miss.
 
@@ -190,7 +190,7 @@ class AtomicReadReply:
     writer: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicWriteRequest:
     """Ask the owner to perform a coherent write.
 
@@ -205,7 +205,7 @@ class AtomicWriteRequest:
     seq: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicWriteReply:
     """Write completed: every stale copy has been invalidated."""
 
@@ -215,7 +215,7 @@ class AtomicWriteReply:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Invalidate:
     """Owner tells a copyset member to drop its copy."""
 
@@ -224,7 +224,7 @@ class Invalidate:
     location: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InvalidateAck:
     """Copyset member confirms the copy is gone."""
 
@@ -236,7 +236,7 @@ class InvalidateAck:
 # ----------------------------------------------------------------------
 # Central-server memory
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CentralRead:
     """Client read RPC."""
 
@@ -245,7 +245,7 @@ class CentralRead:
     location: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CentralWrite:
     """Client write RPC.  ``seq`` makes (writer, seq) the write identity."""
 
@@ -256,7 +256,7 @@ class CentralWrite:
     seq: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CentralReply:
     """Server response to either RPC, carrying the entry's identity."""
 
@@ -271,7 +271,7 @@ class CentralReply:
 # ----------------------------------------------------------------------
 # Causal broadcast memory (the Figure 3 non-example)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BroadcastWrite:
     """A write disseminated as an ISIS-style causal broadcast.
 
@@ -288,7 +288,7 @@ class BroadcastWrite:
     stamp: VectorClock
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BroadcastBatch:
     """A flush of coalesced broadcast writes in one frame.
 

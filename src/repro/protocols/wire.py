@@ -47,7 +47,7 @@ the encoder automatically falls back to the full form whenever more than
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clocks import VectorClock
@@ -145,7 +145,7 @@ def _empty_delta(dimension: int) -> "EncodedStamp":
 # ----------------------------------------------------------------------
 # Encoded forms
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EncodedStamp:
     """One writestamp as carried on the wire.
 
@@ -173,7 +173,7 @@ class EncodedStamp:
         return stamp_delta_bytes(self.carried_entries)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EncodedMessage:
     """A protocol message after stamp stripping, ready for 'delivery'.
 
@@ -192,7 +192,7 @@ class EncodedMessage:
     stamp_entries_full: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageCost:
     """The deterministic wire cost of one message."""
 
@@ -240,6 +240,10 @@ class _WirePlan:
 
 _PLANS: Dict[type, _WirePlan] = {}
 
+#: Resolved by :func:`_build_plans` (wire cannot import messages at module
+#: level); used by the encode fast-lane dispatch.
+_WRITE_BATCH_TYPE: Optional[type] = None
+
 
 def _register(message_type: type, plan: _WirePlan) -> None:
     _PLANS[message_type] = plan
@@ -257,23 +261,45 @@ def _entry_payload_body(payload) -> int:
     return location_bytes(payload.location) + value_bytes(payload.value) + ID_BYTES
 
 
+#: Per-type dataclass field names, resolved once — the message classes are
+#: slotted (no ``__dict__``), so clones are built by walking the fields.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+_MISSING = object()
+
+
 def _restamped(msg, **changes):
     """``dataclasses.replace`` minus the signature machinery.
 
     Every stamped message is rebuilt twice per hop (stamp-stripped at
     encode, stamp-restored at decode), and ``dataclasses.replace``'s
-    field introspection dominated the wire profile.  The message dataclasses
-    define no ``__post_init__`` and no ``__slots__``, so a shallow
-    ``__dict__`` copy constructs the identical frozen instance.
+    field introspection dominated the wire profile.  The message
+    dataclasses define no ``__post_init__``, so copying each field
+    through ``object.__setattr__`` (which writes the slot descriptors
+    directly, bypassing the frozen guard) constructs the identical
+    instance.
     """
-    clone = object.__new__(type(msg))
-    clone.__dict__.update(msg.__dict__)
-    clone.__dict__.update(changes)
+    cls = type(msg)
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = _FIELD_NAMES[cls] = tuple(
+            f.name for f in dataclass_fields(cls)
+        )
+    clone = object.__new__(cls)
+    setter = object.__setattr__
+    get_change = changes.get
+    for name in names:
+        value = get_change(name, _MISSING)
+        if value is _MISSING:
+            value = getattr(msg, name)
+        setter(clone, name, value)
     return clone
 
 
 def _build_plans() -> None:
+    global _WRITE_BATCH_TYPE
     from repro.protocols import messages as m
+
+    _WRITE_BATCH_TYPE = m.WriteBatch
 
     # Constants folded into closure locals: the cost functions run on
     # every Network.send, so global lookups are trimmed to bind-time.
@@ -649,15 +675,24 @@ class WireCodec:
     Statistics accumulate on the codec itself (`stamps_encoded`,
     `stamps_full`, `entries_carried`, `entries_saved`) so benchmarks can
     report how often the delta path engages.
+
+    ``fast_lanes`` (default True) enables fused encode lanes for the two
+    dominant frame shapes — stampless messages (invalidations, read
+    requests) and :class:`~repro.protocols.messages.WriteBatch` — that
+    skip the generic body/stamps/rebuild dispatch while producing
+    byte-identical frames and accounting.  The lockstep property tests
+    run both settings and assert equality; pass False to pin the
+    authoritative generic path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_lanes: bool = True) -> None:
         self._send_state: Dict[Tuple[int, int], _ChannelState] = {}
         self._recv_state: Dict[Tuple[int, int], _ChannelState] = {}
         self.stamps_encoded = 0
         self.stamps_full = 0
         self.entries_carried = 0
         self.entries_saved = 0
+        self.fast_lanes = fast_lanes
         #: Attached TraceCollector, or None (all emits are guarded).
         self.obs = None
 
@@ -695,10 +730,118 @@ class WireCodec:
         if self.obs is not None:
             self.obs.emit("net", "resync.node", node=node_id)
 
+    # -- encode fast lanes ---------------------------------------------
+    def _encode_stampless(
+        self, src: int, dst: int, message: object, plan: _WirePlan
+    ) -> EncodedMessage:
+        """Fused lane for messages carrying no writestamps.
+
+        Invalidations and read/write requests of the baselines have no
+        stamp fields: the generic walk would build an empty stamp list,
+        run an empty loop, and keep the template as-is.  This lane goes
+        straight to the body cost.  Byte accounting is identical by
+        construction (HEADER + body, zero stamp entries) and the channel
+        basis is untouched, exactly as the generic path leaves it.
+        """
+        state = self._sender(src, dst)
+        state.seq += 1
+        try:
+            kind = message.kind
+        except AttributeError:
+            kind = type(message).__name__
+        return EncodedMessage(
+            kind=kind,
+            template=message,
+            channel_seq=state.seq,
+            byte_size=HEADER_BYTES + plan.body(message),
+            stamp_entries=0,
+            stamp_entries_full=0,
+        )
+
+    def _encode_write_batch(
+        self, src: int, dst: int, msg
+    ) -> EncodedMessage:
+        """Fused lane for ``W_BATCH`` frames (the write-behind hot kind).
+
+        One pass over the batch computes the body bytes, delta-encodes
+        each write's stamp against the running basis, and rebuilds the
+        stripped sub-messages — where the generic path walks the writes
+        three times (body sum, stamp list, rebuild zip).  Every byte,
+        stamp-entry count, and codec counter matches the generic path;
+        ``tests/test_prop_wire.py`` locksteps the two.
+        """
+        state = self._sender(src, dst)
+        state.seq += 1
+        writes = msg.writes
+        basis = state.basis
+        nbytes = HEADER_BYTES + ID_BYTES + 2
+        carried = 0
+        full_equivalent = 0
+        n_full = 0
+        rebuilt = []
+        for w in writes:
+            nbytes += (
+                SUBHEADER_BYTES + 2 + len(w.location) + value_bytes(w.value)
+            )
+            components = w.stamp.components
+            dimension = len(components)
+            full_equivalent += dimension
+            if basis is None or len(basis) != dimension:
+                encoded = EncodedStamp(
+                    entries=components, full=True, dimension=dimension
+                )
+                nbytes += stamp_full_bytes(dimension)
+                carried += dimension
+                n_full += 1
+            elif components == basis:
+                encoded = _empty_delta(dimension)
+                nbytes += STAMP_COUNT_BYTES
+            else:
+                changed: List[int] = []
+                for index, (new, old) in enumerate(zip(components, basis)):
+                    if new != old:
+                        changed.append(index)
+                        changed.append(new)
+                n_changed = len(changed) // 2
+                if _delta_beats_full(n_changed, dimension):
+                    encoded = EncodedStamp(
+                        entries=tuple(changed), full=False, dimension=dimension
+                    )
+                    nbytes += stamp_delta_bytes(n_changed)
+                    carried += n_changed
+                else:
+                    encoded = EncodedStamp(
+                        entries=components, full=True, dimension=dimension
+                    )
+                    nbytes += stamp_full_bytes(dimension)
+                    carried += dimension
+                    n_full += 1
+            rebuilt.append(_restamped(w, stamp=encoded))
+            basis = components
+        state.basis = basis
+        self.stamps_encoded += len(writes)
+        self.stamps_full += n_full
+        self.entries_carried += carried
+        self.entries_saved += full_equivalent - carried
+        template = _restamped(msg, writes=tuple(rebuilt)) if writes else msg
+        return EncodedMessage(
+            kind=msg.kind,
+            template=template,
+            channel_seq=state.seq,
+            byte_size=nbytes,
+            stamp_entries=carried,
+            stamp_entries_full=full_equivalent,
+        )
+
     # -- encode / decode -----------------------------------------------
     def encode(self, src: int, dst: int, message: object) -> EncodedMessage:
         """Strip stamps into channel-delta form; returns the wire frame."""
         plan = _plan_for(message)
+        if self.fast_lanes:
+            if plan.stamps is _no_stamps:
+                return self._encode_stampless(src, dst, message, plan)
+            if type(message) is _WRITE_BATCH_TYPE:
+                return self._encode_write_batch(src, dst, message)
         stamps = plan.stamps(message)
         state = self._sender(src, dst)
         state.seq += 1

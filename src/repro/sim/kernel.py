@@ -51,11 +51,27 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["Simulator", "ScheduledEvent"]
+__all__ = ["Simulator", "ScheduledEvent", "NO_ARG"]
 
 #: Compact the heap when it holds more than this many cancelled events
 #: and they outnumber the live ones (small queues are not worth the pass).
 _COMPACT_MIN_CANCELLED = 64
+
+
+class _NoArg:
+    """Sentinel distinguishing "no argument" from an argument of None."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NO_ARG>"
+
+
+#: Events whose ``arg`` is this sentinel run ``callback()``; any other
+#: value (including None) runs ``callback(arg)``.  Passing a preallocated
+#: record as ``arg`` lets hot schedulers (message delivery, task resume)
+#: reuse one bound method instead of allocating a closure per event.
+NO_ARG = _NoArg()
 
 
 class ScheduledEvent:
@@ -65,29 +81,45 @@ class ScheduledEvent:
     between simultaneous events.  ``cancelled`` supports O(1)
     cancellation: the event stays in the heap but is skipped when popped
     (or dropped by a compaction).
+
+    ``arg`` carries an optional single argument for the callback (see
+    :data:`NO_ARG`): the run loops invoke ``callback(arg)`` when it is
+    set, so a shared bound method plus a per-event record replaces a
+    per-event closure on the hot scheduling paths.
     """
 
     __slots__ = (
-        "time", "seq", "callback", "cancelled", "tag", "_sim", "_in_heap",
+        "time", "seq", "callback", "cancelled", "tag", "arg",
+        "_sim", "_in_heap",
     )
 
     def __init__(
         self,
         time: float,
         seq: int,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         cancelled: bool = False,
         _sim: Optional["Simulator"] = None,
         _in_heap: bool = False,
         tag: Optional[tuple] = None,
+        arg: object = NO_ARG,
     ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = cancelled
         self.tag = tag
+        self.arg = arg
         self._sim = _sim
         self._in_heap = _in_heap
+
+    def execute(self) -> None:
+        """Invoke the callback (with its carried ``arg`` when present)."""
+        arg = self.arg
+        if arg is NO_ARG:
+            self.callback()
+        else:
+            self.callback(arg)
 
     def __repr__(self) -> str:
         return (
@@ -153,42 +185,63 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _push_event(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        tag: Optional[tuple],
+        arg: object = NO_ARG,
+    ) -> ScheduledEvent:
+        """The single event-construction path.
+
+        Every scheduling front-end (``schedule``, ``schedule_at``,
+        ``schedule_batch``, ``schedule_fanout_at``) funnels through here,
+        so the ``(time, seq)`` tie-breaking order cannot drift between
+        batch and non-batch deliveries.
+        """
+        self._seq = seq = self._seq + 1
+        event = ScheduledEvent(time, seq, callback, False, self, True, tag, arg)
+        heappush(self._queue, (time, seq, event))
+        return event
+
     def schedule(
         self,
         delay: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         tag: Optional[tuple] = None,
+        arg: object = NO_ARG,
     ) -> ScheduledEvent:
-        """Schedule ``callback`` to run ``delay`` time units from now."""
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        ``arg``, when given, is passed to the callback at execution time
+        (``callback(arg)``) — see :data:`NO_ARG`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        time = self.now + delay
-        self._seq = seq = self._seq + 1
-        event = ScheduledEvent(time, seq, callback, False, self, True, tag)
-        heappush(self._queue, (time, seq, event))
-        return event
+        return self._push_event(self.now + delay, callback, tag, arg)
 
     def schedule_at(
         self,
         time: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         tag: Optional[tuple] = None,
+        arg: object = NO_ARG,
     ) -> ScheduledEvent:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        self._seq = seq = self._seq + 1
-        event = ScheduledEvent(time, seq, callback, False, self, True, tag)
-        heappush(self._queue, (time, seq, event))
-        return event
+        return self._push_event(time, callback, tag, arg)
 
     def call_soon(
-        self, callback: Callable[[], None], tag: Optional[tuple] = None
+        self,
+        callback: Callable[..., None],
+        tag: Optional[tuple] = None,
+        arg: object = NO_ARG,
     ) -> ScheduledEvent:
         """Schedule ``callback`` at the current time (after pending events)."""
-        return self.schedule(0.0, callback, tag=tag)
+        return self.schedule(0.0, callback, tag=tag, arg=arg)
 
     def schedule_batch(
         self,
@@ -232,20 +285,46 @@ class Simulator:
         callbacks = tuple(callbacks)
         if len(callbacks) == 1:
             # A batch of one is a plain event — no closure overhead.
-            self._seq = seq = self._seq + 1
-            event = ScheduledEvent(time, seq, callbacks[0], False, self, True, tag)
-            heappush(self._queue, (time, seq, event))
-            return event
+            return self._push_event(time, callbacks[0], tag)
 
         def run_batch() -> None:
             self._batched_callbacks += len(callbacks)
             for callback in callbacks:
                 callback()
 
-        self._seq = seq = self._seq + 1
-        event = ScheduledEvent(time, seq, run_batch, False, self, True, tag)
-        heappush(self._queue, (time, seq, event))
-        return event
+        return self._push_event(time, run_batch, tag)
+
+    def schedule_fanout_at(
+        self,
+        time: float,
+        callback: Callable[[object], None],
+        args,
+        tag: Optional[tuple] = None,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(arg)`` for each of ``args`` as ONE heap entry.
+
+        The arg-carrying twin of :meth:`schedule_batch_at`: one shared
+        callback applied to a sequence of preallocated records (the
+        network's fan-out deliveries), with the same event-order
+        equivalence argument and the same batch accounting.  A group of
+        one degenerates to a plain arg-carrying event.
+
+        Cancelling the returned event cancels the whole group.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        args = tuple(args)
+        if len(args) == 1:
+            return self._push_event(time, callback, tag, args[0])
+
+        def run_group() -> None:
+            self._batched_callbacks += len(args)
+            for arg in args:
+                callback(arg)
+
+        return self._push_event(time, run_group, tag)
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -337,6 +416,7 @@ class Simulator:
                     # budget or horizon checks inside the event loop, and
                     # — the zero-overhead-when-disabled guarantee — no
                     # per-event obs or stream test either.
+                    no_arg = NO_ARG
                     while queue:
                         time, _, event = heappop(queue)
                         event._in_heap = False
@@ -350,7 +430,11 @@ class Simulator:
                             )
                         self.now = time
                         self._events_processed += 1
-                        event.callback()
+                        arg = event.arg
+                        if arg is no_arg:
+                            event.callback()
+                        else:
+                            event.callback(arg)
                     return
                 # Instrumented twin of the loop above: identical
                 # semantics, plus a scheduling-decision event for every
@@ -374,7 +458,7 @@ class Simulator:
                         obs.emit("kernel", "execute", time=time, tag=event.tag)
                     if stream is not None:
                         stream(event)
-                    event.callback()
+                    event.execute()
                 return
             while queue:
                 if max_events is not None and executed >= max_events:
@@ -401,7 +485,7 @@ class Simulator:
                     self.obs.emit("kernel", "execute", time=time, tag=event.tag)
                 if self.stream is not None:
                     self.stream(event)
-                event.callback()
+                event.execute()
                 executed += 1
             if until is not None and until > self.now:
                 self.now = until
@@ -453,7 +537,7 @@ class Simulator:
             )
         if self.stream is not None:
             self.stream(event)
-        event.callback()
+        event.execute()
 
     # ------------------------------------------------------------------
     # Queue internals (the one place cancelled events are skipped)
@@ -488,7 +572,7 @@ class Simulator:
             self.obs.emit("kernel", "execute", time=head.time, tag=head.tag)
         if self.stream is not None:
             self.stream(head)
-        head.callback()
+        head.execute()
 
     def _note_cancelled(self) -> None:
         self._cancelled_in_queue += 1

@@ -31,9 +31,34 @@ from repro.sim.kernel import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.trace import MessageRecord, MessageTrace, NetworkStats
 
-__all__ = ["Network"]
+__all__ = ["Network", "Delivery"]
 
 Handler = Callable[[int, object], None]
+
+
+class Delivery:
+    """One prepared message delivery: the kernel event's payload record.
+
+    ``_prepare`` allocates exactly one of these per accepted message; the
+    kernel then dispatches it through the single bound method
+    :meth:`Network._deliver` (``callback(arg)``), replacing the closure +
+    cell pair the old per-message lambdas allocated.
+    """
+
+    __slots__ = ("deliver_at", "src", "dst", "payload", "kind")
+
+    def __init__(self, deliver_at, src, dst, payload, kind):
+        self.deliver_at = deliver_at
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Delivery(t={self.deliver_at!r}, {self.src}->{self.dst}, "
+            f"kind={self.kind!r})"
+        )
 
 
 class Network:
@@ -88,6 +113,10 @@ class Network:
         self._partitioned: Set[Tuple[int, int]] = set()
         self._crashed: Set[int] = set()
         self._drop_rate: float = 0.0
+        #: True iff any partition/crash/drop-rate is configured.  The
+        #: per-message fast path tests this one flag instead of three
+        #: structures; every fault mutator recomputes it.
+        self._faults_active = False
         self._seq = 0
         self._rng = sim.derived_rng("network")
         #: When True, :meth:`send_fanout` groups a fan-out's same-instant
@@ -119,6 +148,7 @@ class Network:
         self._partitioned.add((src, dst))
         if bidirectional:
             self._partitioned.add((dst, src))
+        self._refresh_faults_flag()
         if self.obs is not None:
             self.obs.emit(
                 "fault", "partition.open",
@@ -130,6 +160,7 @@ class Network:
         self._partitioned.discard((src, dst))
         if bidirectional:
             self._partitioned.discard((dst, src))
+        self._refresh_faults_flag()
         if self.obs is not None:
             self.obs.emit(
                 "fault", "partition.close",
@@ -140,12 +171,14 @@ class Network:
         """Remove every partition and crash."""
         self._partitioned.clear()
         self._crashed.clear()
+        self._refresh_faults_flag()
         if self.obs is not None:
             self.obs.emit("fault", "heal_all")
 
     def crash(self, node_id: int) -> None:
         """Drop all messages to and from ``node_id``."""
         self._crashed.add(node_id)
+        self._refresh_faults_flag()
         if self.codec is not None:
             # In-flight messages to the node will be lost on arrival;
             # restart every affected delta chain from a full stamp.
@@ -158,8 +191,14 @@ class Network:
         if not 0.0 <= rate <= 1.0:
             raise NetworkError(f"drop rate must be in [0, 1], got {rate}")
         self._drop_rate = rate
+        self._refresh_faults_flag()
         if self.obs is not None:
             self.obs.emit("fault", "drop_rate", rate=rate)
+
+    def _refresh_faults_flag(self) -> None:
+        self._faults_active = bool(
+            self._partitioned or self._crashed or self._drop_rate > 0.0
+        )
 
     # ------------------------------------------------------------------
     # Sending
@@ -169,15 +208,22 @@ class Network:
 
         The message object must expose a ``kind`` attribute (a short string)
         used for counting; protocol message dataclasses all do.
+
+        ``send`` is exactly the single-destination case of
+        :meth:`send_fanout`: both run one :meth:`_prepare` per message and
+        hand the resulting :class:`Delivery` record to :meth:`_dispatch`.
         """
-        prepared = self._prepare(src, dst, message)
-        if prepared is None:
-            return
-        deliver_at, payload, kind = prepared
+        delivery = self._prepare(src, dst, message)
+        if delivery is not None:
+            self._dispatch(delivery)
+
+    def _dispatch(self, delivery: Delivery) -> None:
+        """Schedule one prepared delivery as an arg-carrying kernel event."""
         self.sim.schedule_at(
-            deliver_at,
-            lambda: self._deliver(src, dst, payload),
-            tag=("deliver", src, dst, kind),
+            delivery.deliver_at,
+            self._deliver,
+            tag=("deliver", delivery.src, delivery.dst, delivery.kind),
+            arg=delivery,
         )
 
     def send_fanout(self, src: int, dsts, message: object) -> None:
@@ -186,7 +232,7 @@ class Network:
         Semantically identical to ``send`` in destination order.  With
         :attr:`batch_delivery` enabled, deliveries landing at the same
         instant are scheduled as ONE kernel heap entry
-        (:meth:`~repro.sim.kernel.Simulator.schedule_batch_at`), which
+        (:meth:`~repro.sim.kernel.Simulator.schedule_fanout_at`), which
         amortises heap churn and trace emission across the group.
 
         Event-order equivalence: individually scheduled fan-out events
@@ -197,49 +243,48 @@ class Network:
         """
         groups: Dict[float, list] = {}
         for dst in dsts:
-            prepared = self._prepare(src, dst, message)
-            if prepared is None:
-                continue
-            deliver_at, payload, kind = prepared
-            groups.setdefault(deliver_at, []).append((dst, payload, kind))
+            delivery = self._prepare(src, dst, message)
+            if delivery is not None:
+                groups.setdefault(delivery.deliver_at, []).append(delivery)
         for deliver_at, group in groups.items():
             if self.batch_delivery and len(group) > 1:
-                deliver = self._deliver
-                self.sim.schedule_batch_at(
+                self.sim.schedule_fanout_at(
                     deliver_at,
-                    [
-                        (lambda d=dst, p=payload: deliver(src, d, p))
-                        for dst, payload, kind in group
-                    ],
+                    self._deliver,
+                    group,
                     tag=(
                         "deliver_batch", src,
-                        tuple(dst for dst, _, _ in group), group[0][2],
+                        tuple(d.dst for d in group), group[0].kind,
                     ),
                 )
             else:
-                for dst, payload, kind in group:
-                    self.sim.schedule_at(
-                        deliver_at,
-                        lambda d=dst, p=payload: self._deliver(src, d, p),
-                        tag=("deliver", src, dst, kind),
-                    )
+                for delivery in group:
+                    self._dispatch(delivery)
 
-    def _prepare(self, src: int, dst: int, message: object):
-        """Account, encode, and time one message; returns the delivery
-        ``(deliver_at, payload, kind)`` or None when the message drops."""
+    def _reject_endpoints(self, src: int, dst: int) -> None:
+        """Cold path: diagnose an invalid (src, dst) pair and raise."""
         if dst not in self._handlers:
             raise NetworkError(f"message to unregistered node {dst}")
         if src not in self._handlers:
             raise NetworkError(f"message from unregistered node {src}")
-        if src == dst:
-            raise NetworkError("a node may not message itself; use local state")
+        raise NetworkError("a node may not message itself; use local state")
 
-        kind = getattr(message, "kind", type(message).__name__)
+    def _prepare(self, src: int, dst: int, message: object):
+        """Account, encode, and time one message; returns the prepared
+        :class:`Delivery` or None when the message drops."""
+        handlers = self._handlers
+        if src == dst or dst not in handlers or src not in handlers:
+            self._reject_endpoints(src, dst)
+
+        try:
+            kind = message.kind
+        except AttributeError:
+            kind = type(message).__name__
         self._seq += 1
         seq = self._seq
         now = self.sim.now
 
-        dropped = (
+        dropped = self._faults_active and (
             (src, dst) in self._partitioned
             or src in self._crashed
             or dst in self._crashed
@@ -291,15 +336,19 @@ class Network:
         if delay < 0:
             raise NetworkError(f"latency model produced negative delay {delay}")
         transmit_at = now
-        if self.send_service_time > 0:
+        service = self.send_service_time
+        if service > 0:
             transmit_at = max(now, self._sender_busy_until.get(src, 0.0))
-            self._sender_busy_until[src] = transmit_at + self.send_service_time
-            transmit_at += self.send_service_time
+            self._sender_busy_until[src] = transmit_at + service
+            transmit_at += service
         deliver_at = transmit_at + delay
         # FIFO clamp: never deliver before an earlier message on the channel.
-        floor = self._last_delivery.get((src, dst), 0.0)
-        deliver_at = max(deliver_at, floor)
-        self._last_delivery[(src, dst)] = deliver_at
+        channel = (src, dst)
+        last = self._last_delivery
+        floor = last.get(channel)
+        if floor is not None and floor > deliver_at:
+            deliver_at = floor
+        last[channel] = deliver_at
 
         self.stats.count_sent(
             kind, src, dst, deliver_at - now,
@@ -321,24 +370,28 @@ class Network:
                 "net", "send", node=src, dur=deliver_at - now,
                 kind=kind, src=src, dst=dst, bytes=nbytes,
             )
-        return deliver_at, payload, kind
+        return Delivery(deliver_at, src, dst, payload, kind)
 
-    def _deliver(self, src: int, dst: int, payload: object) -> None:
-        if dst in self._crashed:
+    def _deliver(self, delivery: Delivery) -> None:
+        src = delivery.src
+        dst = delivery.dst
+        payload = delivery.payload
+        if self._crashed and dst in self._crashed:
             # Crashed after send; message lost on arrival.  The receiver's
             # delta basis never advanced, so the channel must resync.
             if self.codec is not None:
                 self.codec.mark_dirty(src, dst)
             if self.obs is not None:
-                kind = getattr(payload, "kind", type(payload).__name__)
                 self.obs.emit(
                     "net", "drop_on_arrival", node=dst,
-                    kind=kind, src=src, dst=dst,
+                    kind=delivery.kind, src=src, dst=dst,
                 )
             return
         if self.codec is not None:
             payload = self.codec.decode(src, dst, payload)
         if self.obs is not None:
-            kind = getattr(payload, "kind", type(payload).__name__)
-            self.obs.emit("net", "deliver", node=dst, kind=kind, src=src, dst=dst)
+            self.obs.emit(
+                "net", "deliver", node=dst,
+                kind=delivery.kind, src=src, dst=dst,
+            )
         self._handlers[dst](src, payload)

@@ -115,13 +115,17 @@ class Task(Future):
     value, so tasks can wait on each other (``result = yield other_task``).
     """
 
-    __slots__ = ("_scheduler", "_gen", "name", "_finished_hook")
+    __slots__ = ("_scheduler", "_gen", "name", "_finished_hook", "_tag")
 
     def __init__(self, scheduler: "TaskScheduler", gen: ProcessGen, name: str):
         super().__init__(label=f"task:{name}")
         self._scheduler = scheduler
         self._gen = gen
         self.name = name
+        # Every resume event shares this one tag tuple; the kernel's
+        # arg-carrying events let ``_step`` itself be the callback, so a
+        # resume allocates no closure.
+        self._tag = ("task", name)
 
     def kill(self) -> None:
         """Terminate the task (used by fault-injection tests)."""
@@ -150,7 +154,7 @@ class Task(Future):
     def _handle_yield(self, yielded: Any) -> None:
         sim = self._scheduler.sim
         if yielded is None:
-            sim.call_soon(lambda: self._step(None), tag=("task", self.name))
+            sim.call_soon(self._step, tag=self._tag, arg=None)
             return
         if isinstance(yielded, Future):
             yielded.add_done_callback(self._on_future_done)
@@ -168,10 +172,9 @@ class Task(Future):
         if future.failed:
             exc = future.exception()
             assert exc is not None
-            sim.call_soon(lambda: self._step(exc=exc), tag=("task", self.name))
+            sim.call_soon(lambda: self._step(exc=exc), tag=self._tag)
         else:
-            value = future.result()
-            sim.call_soon(lambda: self._step(value), tag=("task", self.name))
+            sim.call_soon(self._step, tag=self._tag, arg=future.result())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.resolved else "running"
@@ -191,7 +194,7 @@ class TaskScheduler:
             name = f"task-{len(self.tasks)}"
         task = Task(self, gen, name)
         self.tasks.append(task)
-        self.sim.call_soon(lambda: task._step(None), tag=("task", name))
+        self.sim.call_soon(task._step, tag=task._tag, arg=None)
         return task
 
     # -- bookkeeping -------------------------------------------------------

@@ -111,8 +111,8 @@ def test_smoke_suite_includes_bandwidth_section():
     assert bandwidth["fastpath"]["batch_occupancy"] >= 1.0
 
 
-def _v5_file(path, labels):
-    """A trajectory saved at the current schema (v5)."""
+def _current_file(path, labels):
+    """A trajectory saved at the current schema."""
     trajectory = BenchTrajectory()
     for label in labels:
         trajectory.append(
@@ -122,8 +122,52 @@ def _v5_file(path, labels):
     return path.read_text()
 
 
-def test_saved_files_carry_schema_v5():
-    assert SCHEMA_VERSION == 5
+def test_saved_files_carry_schema_v6():
+    assert SCHEMA_VERSION == 6
+
+
+def test_v6_profile_section_round_trips(tmp_path):
+    """The v6 ``protocol.profile`` subtree survives save/load."""
+    file = tmp_path / "v6.json"
+    profile = {
+        "workload": "n=16",
+        "ops": 3200,
+        "sort": "cumulative",
+        "total_time": 1.25,
+        "top": [
+            {"function": "run", "file": "kernel.py", "line": 389,
+             "ncalls": 1, "tottime": 0.04, "cumtime": 1.2},
+            {"function": "update", "file": "vector_clock.py", "line": 117,
+             "ncalls": 10192, "tottime": 0.05, "cumtime": 0.17},
+        ],
+    }
+    trajectory = BenchTrajectory()
+    trajectory.append(
+        BenchRecord("pr8", "t0", {"protocol": {"profile": profile}})
+    )
+    trajectory.save(file)
+    loaded = BenchTrajectory.load(file)
+    assert loaded.latest().metrics["protocol"]["profile"] == profile
+    assert loaded.metric_series("protocol", "profile", "total_time") == [1.25]
+
+
+def test_profile_flag_records_top_table():
+    """--profile adds a cProfile top-N table under protocol.profile."""
+    from repro.bench import profile_protocol
+
+    profile = profile_protocol(2, 30, top=8)
+    assert profile["workload"] == "n=2"
+    assert profile["sort"] == "cumulative"
+    assert profile["total_time"] > 0
+    assert 0 < len(profile["top"]) <= 8
+    for row in profile["top"]:
+        assert set(row) == {
+            "function", "file", "line", "ncalls", "tottime", "cumtime",
+        }
+        assert row["cumtime"] >= row["tottime"] >= 0
+    # Sorted by cumulative time, descending.
+    cumtimes = [row["cumtime"] for row in profile["top"]]
+    assert cumtimes == sorted(cumtimes, reverse=True)
 
 
 def test_v5_substrate_section_round_trips(tmp_path):
@@ -144,7 +188,7 @@ def test_v5_substrate_section_round_trips(tmp_path):
     assert loaded.latest().metrics["substrate"]["vectorised"] == vectorised
 
 
-@pytest.mark.parametrize("schema", [1, 2, 3, 4])
+@pytest.mark.parametrize("schema", [1, 2, 3, 4, 5])
 def test_older_schema_files_load_unchanged(tmp_path, schema):
     legacy = tmp_path / f"v{schema}.json"
     legacy.write_text(json.dumps({
@@ -172,7 +216,7 @@ def test_older_schema_files_load_unchanged(tmp_path, schema):
 
 def test_truncated_file_rejected_then_repaired(tmp_path):
     file = tmp_path / "trunc.json"
-    text = _v5_file(file, ["one", "two"])
+    text = _current_file(file, ["one", "two"])
     # Kill the writer mid-flight: drop the tail of the second run object.
     file.write_text(text[: int(len(text) * 0.7)])
     with pytest.raises(ReproError, match="repair=True"):
@@ -184,7 +228,7 @@ def test_truncated_file_rejected_then_repaired(tmp_path):
 def test_concatenated_documents_rejected_then_merged(tmp_path):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     file = tmp_path / "both.json"
-    file.write_text(_v5_file(a, ["first"]) + _v5_file(b, ["second"]))
+    file.write_text(_current_file(a, ["first"]) + _current_file(b, ["second"]))
     with pytest.raises(ReproError, match="concatenated"):
         BenchTrajectory.load(file)
     merged = BenchTrajectory.load(file, repair=True)
@@ -195,8 +239,8 @@ def test_repair_does_not_double_count_complete_documents(tmp_path):
     """A complete document followed by a truncated one must yield the
     complete document's runs exactly once plus the salvageable tail."""
     a, b = tmp_path / "a.json", tmp_path / "b.json"
-    whole = _v5_file(a, ["kept"])
-    tail = _v5_file(b, ["salvaged", "lost"])
+    whole = _current_file(a, ["kept"])
+    tail = _current_file(b, ["salvaged", "lost"])
     file = tmp_path / "mixed.json"
     file.write_text(whole + tail[: int(len(tail) * 0.7)])
     repaired = BenchTrajectory.load(file, repair=True)
@@ -205,7 +249,7 @@ def test_repair_does_not_double_count_complete_documents(tmp_path):
 
 def test_save_is_atomic_and_leaves_no_temp_file(tmp_path):
     file = tmp_path / "out.json"
-    _v5_file(file, ["a"])
+    _current_file(file, ["a"])
     assert json.loads(file.read_text())["schema"] == SCHEMA_VERSION
     assert list(tmp_path.iterdir()) == [file]
 

@@ -138,6 +138,38 @@ def test_workloads_are_deterministic_per_seed(shape):
     assert first.total_messages == second.total_messages
 
 
+@settings(deadline=None, max_examples=15,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(workload_shapes)
+def test_delivery_internals_are_execution_transparent(shape):
+    """Scheduling/substrate knobs never change the observable execution.
+
+    The arena backend (scalar vs numpy writestamp mirror) and batched
+    delivery (fan-out deliveries grouped into one kernel heap entry via
+    preallocated delivery records) are pure mechanics: all four
+    combinations must record byte-identical histories and identical
+    message/rejection counts.
+    """
+    outcomes = [
+        run_random_execution(
+            WorkloadConfig(
+                protocol="causal",
+                arena_backend=backend,
+                batch_delivery=batch,
+                **shape,
+            )
+        )
+        for backend in ("python", "numpy")
+        for batch in (False, True)
+    ]
+    reference = outcomes[0]
+    for outcome in outcomes[1:]:
+        assert outcome.history.to_text() == reference.history.to_text()
+        assert outcome.total_messages == reference.total_messages
+        assert outcome.rejected_writes == reference.rejected_writes
+        assert outcome.invalidations == reference.invalidations
+
+
 @settings(**COMMON)
 @given(workload_shapes)
 def test_broadcast_memory_preserves_per_sender_order(shape):
