@@ -12,7 +12,7 @@ Schema (``schema`` is bumped on incompatible change; the reader accepts
 every version up to the current one)::
 
     {
-      "schema": 6,
+      "schema": 7,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -46,7 +46,14 @@ every version up to the current one)::
                                     "speedup": ..., "masks_equal": true},
                          "protocol": {"scalar_ops_per_sec": ...,
                                        "vector_ops_per_sec": ...,
-                                       "speedup": ...}}, ...}}
+                                       "speedup": ...}}, ...}},
+            "runtime": {"live": {"transport": "uds", "ops_per_sec": ...,
+                                  "latency_p50_ms": ..., "latency_p95_ms": ...,
+                                  "latency_p99_ms": ...,
+                                  "model_bytes_per_op": ...,
+                                  "socket_bytes_per_op": ...,
+                                  "framing_overhead": ...,
+                                  "verdicts_equal": true}}
           }
         }, ...
       ]
@@ -78,6 +85,14 @@ Schema history:
   "tottime": ..., "cumtime": ...}, ...]}`` so the hot-spot ranking of
   each revision rides along with its throughput numbers.  v1–v5 files
   load unchanged.
+* **7** — adds the optional ``runtime`` section; its ``live`` subtree
+  records the asyncio/socket runtime run against the simulator on one
+  seeded workload: live ops/sec and sim wall-clock ops/sec,
+  completion-latency quantiles (p50/p95/p99, milliseconds), the
+  analytic wire-model bytes/op vs the pickled socket bytes/op with
+  their ratio (``framing_overhead``), and a ``verdicts_equal`` canary
+  (offline causal verdicts of the two drivers must match).  v1–v6
+  files load unchanged.
 
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
@@ -103,12 +118,13 @@ from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Versions the reader understands.  Older files simply lack the
 #: optional ``bandwidth`` / ``obs`` / ``monitor`` / ``substrate`` /
-#: ``protocol.profile`` metric sections, so they load as-is.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
+#: ``protocol.profile`` / ``runtime`` metric sections, so they load
+#: as-is.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
 
 
 @dataclass(frozen=True)

@@ -719,6 +719,67 @@ def bench_checker_memo(schedules: int, repeats: int) -> Dict[str, Any]:
     }
 
 
+def bench_live(n_nodes: int, ops_per_proc: int) -> Dict[str, Any]:
+    """The live asyncio/socket runtime vs the simulator (schema v7).
+
+    Runs the same seeded random workload under both drivers — identical
+    derived-RNG operation sequences, wire codec on, Unix-domain
+    sockets — and reports live throughput, per-op completion-latency
+    quantiles, and the byte ledger: the analytic wire-model bytes/op
+    both drivers account identically vs the pickled frames actually
+    written to the sockets.  The verdict cross-check (sim legality ==
+    live legality) is part of the measurement; a drift marks the whole
+    section suspect.
+    """
+    import time as time_module
+
+    from repro.apps.workload import WorkloadConfig, run_random_execution
+    from repro.checker import check_causal
+    from repro.runtime import run_workload_live
+
+    config = WorkloadConfig(
+        protocol="causal",
+        n_nodes=n_nodes,
+        n_locations=4,
+        ops_per_proc=ops_per_proc,
+        seed=42,
+        delta_stamps=True,
+    )
+    started = time_module.perf_counter()
+    sim = run_random_execution(config)
+    sim_wall = time_module.perf_counter() - started
+    live = run_workload_live(config, sample_latencies=True)
+
+    total_ops = len(live.history)
+    latencies = sorted(live.latencies)
+
+    def quantile(fraction: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+
+    return {
+        "transport": "uds",
+        "nodes": n_nodes,
+        "ops": total_ops,
+        "elapsed_s": live.elapsed,
+        "ops_per_sec": total_ops / live.elapsed if live.elapsed else 0.0,
+        "sim_ops_per_sec": len(sim.history) / sim_wall if sim_wall else 0.0,
+        "latency_p50_ms": quantile(0.50) * 1e3,
+        "latency_p95_ms": quantile(0.95) * 1e3,
+        "latency_p99_ms": quantile(0.99) * 1e3,
+        "messages": live.total_messages,
+        # The wire-model column both drivers share, vs real socket bytes.
+        "model_bytes_per_op": live.model_bytes / total_ops if total_ops else 0.0,
+        "socket_bytes_per_op": live.socket_bytes / total_ops if total_ops else 0.0,
+        "framing_overhead": (
+            live.socket_bytes / live.model_bytes if live.model_bytes else 0.0
+        ),
+        "verdicts_equal": check_causal(sim.history).ok
+        == check_causal(live.history).ok,
+    }
+
+
 # ----------------------------------------------------------------------
 # The suite
 # ----------------------------------------------------------------------
@@ -786,6 +847,10 @@ def run_suite(
         metrics["substrate"]["vectorised"][f"n={n}"] = bench_vectorised(
             n, substrate_ops, repeats, rows=substrate_rows
         )
+    live_ops = 30 if smoke else 100
+    live_nodes = min(3, max(node_counts))
+    say(f"live runtime vs sim: n={live_nodes}, {live_ops} ops/proc (uds)")
+    metrics["runtime"] = {"live": bench_live(live_nodes, live_ops)}
     return metrics
 
 
@@ -861,6 +926,18 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
             f"window<={monitor['max_window']}, "
             f"gc {monitor['gc_retired']}, "
             f"cache hit {monitor['cache_hit_rate']:.0%}, {verdict})"
+        )
+    live = metrics.get("runtime", {}).get("live")
+    if live:
+        verdict = "verdicts equal" if live["verdicts_equal"] else "VERDICT DRIFT"
+        lines.append(
+            f"runtime live      {live['ops_per_sec']:>12,.0f} ops/s over "
+            f"{live['transport']} (p50 {live['latency_p50_ms']:.2f}ms, "
+            f"p95 {live['latency_p95_ms']:.2f}ms, "
+            f"p99 {live['latency_p99_ms']:.2f}ms; "
+            f"{live['model_bytes_per_op']:.1f} model -> "
+            f"{live['socket_bytes_per_op']:.1f} socket B/op "
+            f"x{live['framing_overhead']:.1f}, {verdict})"
         )
     for key, data in (
         metrics.get("substrate", {}).get("vectorised", {}).items()

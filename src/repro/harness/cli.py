@@ -144,6 +144,62 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on violation, shrink the monitor's window to a replayable "
         "counterexample and write it here (live scenarios only)",
     )
+    live = sub.add_parser(
+        "live",
+        help="run a scenario or workload on the live asyncio/socket "
+        "runtime — same engines, real transport — and check it",
+    )
+    live.add_argument(
+        "--scenario",
+        default="fig3",
+        choices=["fig3", "fig4", "fig5", "workload"],
+        help="paper scenario, or 'workload' for the random Zipfian mix "
+        "(default: fig3)",
+    )
+    live.add_argument(
+        "--transport",
+        default="uds",
+        choices=["uds", "tcp"],
+        help="Unix-domain sockets or localhost TCP (default: uds)",
+    )
+    live.add_argument(
+        "--differential",
+        action="store_true",
+        help="scenarios: also run under the simulator and compare "
+        "checker + monitor verdicts (exit 1 on disagreement)",
+    )
+    live.add_argument(
+        "--delta-stamps",
+        action="store_true",
+        help="frame messages through the wire codec (delta writestamps, "
+        "full-stamp resync on reconnect)",
+    )
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument(
+        "--protocol",
+        default="causal",
+        help="workload only: protocol under test (default: causal)",
+    )
+    live.add_argument(
+        "--nodes", type=int, default=3, help="workload only (default: 3)"
+    )
+    live.add_argument(
+        "--ops", type=int, default=20,
+        help="workload only: ops per process (default: 20)",
+    )
+    live.add_argument(
+        "--locations", type=int, default=4,
+        help="workload only: distinct locations (default: 4)",
+    )
+    live.add_argument(
+        "--zipf", type=float, default=0.0,
+        help="workload only: Zipf exponent for location choice "
+        "(0 = uniform; default: 0)",
+    )
+    live.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="wall-clock deadline for the run (default: 30s)",
+    )
     for name, factory in sorted(EXPERIMENTS.items()):
         doc = (factory.__doc__ or "").strip().splitlines()
         help_text = doc[0] if doc else name
@@ -258,6 +314,91 @@ def _cmd_monitor(args) -> int:
     return 0 if result.ok else 1
 
 
+def _print_live_stats(outcome) -> None:
+    print(
+        f"  {outcome.total_messages} messages in {outcome.elapsed:.3f}s "
+        f"({outcome.dropped_messages} dropped, {outcome.resyncs} resyncs)"
+    )
+    print(
+        f"  bytes: {outcome.model_bytes} wire-model, "
+        f"{outcome.socket_bytes} on the socket"
+    )
+
+
+def _cmd_live(args) -> int:
+    """Run a scenario/workload on the asyncio runtime; check the result."""
+    from repro.checker import check_causal
+    from repro.runtime import run_workload_live
+    from repro.runtime.differential import (
+        compare_live_verdicts,
+        run_differential,
+    )
+
+    if args.scenario == "workload":
+        from repro.apps.workload import WorkloadConfig
+
+        config = WorkloadConfig(
+            protocol=args.protocol,
+            n_nodes=args.nodes,
+            n_locations=args.locations,
+            ops_per_proc=args.ops,
+            seed=args.seed,
+            delta_stamps=args.delta_stamps,
+        )
+        outcome = run_workload_live(
+            config, zipf=args.zipf, transport=args.transport,
+            monitor=True, timeout=args.timeout,
+        )
+        offline = check_causal(outcome.history)
+        status = "CAUSAL" if offline.ok else "VIOLATION"
+        print(
+            f"workload ({args.protocol}, {args.nodes} nodes x {args.ops} "
+            f"ops, zipf={args.zipf}, {args.transport}): {status}"
+        )
+        _print_live_stats(outcome)
+        mismatches: List[str] = []
+        compare_live_verdicts(
+            outcome.history, outcome.monitor_result,
+            outcome.online_verdicts, mismatches,
+        )
+        if mismatches:
+            print("  monitor/checker DISAGREEMENT:")
+            for item in mismatches:
+                print(f"    - {item}")
+            return 1
+        print("  online monitor agrees with the offline checker")
+        if args.protocol == "causal" and not offline.ok:
+            print("  " + offline.explain().replace("\n", "\n  "))
+            return 1
+        return 0
+
+    if args.differential:
+        result = run_differential(
+            args.scenario, seed=args.seed, transport=args.transport,
+            delta_stamps=args.delta_stamps, timeout=args.timeout,
+        )
+        print(result.explain())
+        _print_live_stats(result.live_outcome)
+        return 0 if result.equivalent else 1
+
+    from repro.runtime import run_scenario_live
+
+    outcome = run_scenario_live(
+        args.scenario, seed=args.seed, transport=args.transport,
+        delta_stamps=args.delta_stamps, monitor=True, timeout=args.timeout,
+    )
+    offline = check_causal(outcome.history)
+    status = "CAUSAL" if offline.ok else "VIOLATION"
+    print(f"{args.scenario} live ({args.transport}): {status}")
+    _print_live_stats(outcome)
+    if not offline.ok:
+        print("  " + offline.explain().replace("\n", "\n  "))
+    from repro.runtime import SCENARIOS
+
+    expected = SCENARIOS[args.scenario].expect_causal
+    return 0 if offline.ok == expected else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -292,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "all":
         from repro.analysis.results import ResultsStore
 

@@ -58,6 +58,7 @@ class TraceCollector:
         self.keep_events = keep_events
         self._seq = 0
         self._sim = None
+        self._wall: Optional[Callable[[], float]] = None
         #: (callback, category filter, name filter) triples; None matches
         #: everything.  Filters are tested inline in :meth:`emit` so a
         #: subscriber interested in one event kind does not pay a Python
@@ -69,6 +70,16 @@ class TraceCollector:
     def bind(self, sim) -> None:
         """Use ``sim.now`` as the default timestamp for emits."""
         self._sim = sim
+
+    def bind_wall(self, source: Optional[Callable[[], float]]) -> None:
+        """Stamp every future event's ``wall`` field from ``source()``.
+
+        The live runtime binds ``time.monotonic`` here so spans carry
+        real timestamps alongside the (wall-derived) runtime clock;
+        simulator runs may bind it too to correlate virtual time with
+        elapsed real time.  Pass None to stop stamping.
+        """
+        self._wall = source
 
     # ------------------------------------------------------------------
     # Streaming subscribers (the online-monitor hook)
@@ -142,6 +153,7 @@ class TraceCollector:
             clock=clock,
             dur=dur,
             args=args,
+            wall=self._wall() if self._wall is not None else None,
         )
         if self.keep_events:
             self.events.append(event)

@@ -49,11 +49,19 @@ class TraceEvent:
     dur:
         Span length in simulated time (0 for instant events; message
         sends use their flight time).
+    wall:
+        Wall-clock timestamp (seconds, monotonic) when the collector has
+        a wall-clock source bound — live-runtime traces always do, and
+        simulator runs may opt in to correlate virtual with real time.
+        None otherwise.
     args:
         Small free-form payload (locations, byte counts, triggers).
     """
 
-    __slots__ = ("seq", "time", "category", "name", "node", "clock", "dur", "args")
+    __slots__ = (
+        "seq", "time", "category", "name", "node", "clock", "dur", "wall",
+        "args",
+    )
 
     def __init__(
         self,
@@ -65,6 +73,7 @@ class TraceEvent:
         clock: Optional[Tuple[int, ...]] = None,
         dur: float = 0.0,
         args: Optional[Dict[str, Any]] = None,
+        wall: Optional[float] = None,
     ):
         self.seq = seq
         self.time = time
@@ -73,6 +82,7 @@ class TraceEvent:
         self.node = node
         self.clock = clock
         self.dur = dur
+        self.wall = wall
         self.args = args or {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -98,6 +108,8 @@ class TraceEvent:
             payload["clock"] = list(self.clock)
         if self.dur:
             payload["dur"] = self.dur
+        if self.wall is not None:
+            payload["w"] = self.wall
         if self.args:
             payload["args"] = _jsonable_args(self.args)
         return payload
@@ -115,6 +127,7 @@ class TraceEvent:
             clock=tuple(clock) if clock is not None else None,
             dur=float(data.get("dur", 0.0)),
             args=dict(data.get("args", {})),
+            wall=data.get("w"),
         )
 
 

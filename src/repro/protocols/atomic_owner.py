@@ -118,8 +118,8 @@ class AtomicOwnerNode(DSMNode):
             return future
         self.stats.remote_reads += 1
         request_id = self.next_request_id()
-        self._pending_reads[request_id] = (future, location, self.sim.now)
-        self.network.send(
+        self._pending_reads[request_id] = (future, location, self.runtime.now)
+        self.runtime.send(
             self.node_id,
             self.namespace.owner(location),
             AtomicReadRequest(request_id=request_id, location=location),
@@ -145,16 +145,16 @@ class AtomicOwnerNode(DSMNode):
             self._local_write_futures[request_id] = future
             job = _WriteJob(
                 writer=self.node_id, value=value, seq=seq,
-                request_id=request_id, started=self.sim.now,
+                request_id=request_id, started=self.runtime.now,
             )
             self._enqueue_write(location, job)
         else:
             self.stats.remote_writes += 1
             request_id = self.next_request_id()
             self._pending_writes[request_id] = (
-                future, location, value, seq, self.sim.now,
+                future, location, value, seq, self.runtime.now,
             )
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 self.namespace.owner(location),
                 AtomicWriteRequest(
@@ -209,7 +209,7 @@ class AtomicOwnerNode(DSMNode):
         entry = self.store.get(msg.location)
         assert entry is not None
         self._copyset.setdefault(msg.location, set()).add(src)
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             src,
             AtomicReadReply(
@@ -226,7 +226,7 @@ class AtomicOwnerNode(DSMNode):
         entry = MemoryEntry(value=msg.value, stamp=msg.stamp, writer=msg.writer)
         self.store.put(location, entry)
         self._notify_watchers(location, msg.value)
-        self.stats.blocked_time += self.sim.now - started
+        self.stats.blocked_time += self.runtime.now - started
         self._record_read(location, entry)
         future.resolve(msg.value)
 
@@ -268,7 +268,7 @@ class AtomicOwnerNode(DSMNode):
             self._finish_write(location)
             return
         for target in sorted(targets):
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 target,
                 Invalidate(request_id=job.request_id, location=location),
@@ -277,7 +277,7 @@ class AtomicOwnerNode(DSMNode):
     def _serve_invalidate(self, src: int, msg: Invalidate) -> None:
         if not self.store.owns(msg.location):
             self.store.invalidate(msg.location)
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             src,
             InvalidateAck(request_id=msg.request_id, location=msg.location),
@@ -310,12 +310,12 @@ class AtomicOwnerNode(DSMNode):
         if job.writer == self.node_id:
             self._copyset[location] = set()
             self._record_write(location, job.value, entry)
-            self.stats.blocked_time += self.sim.now - job.started
+            self.stats.blocked_time += self.runtime.now - job.started
             future = self._local_write_futures.pop(job.request_id)
             future.resolve(WriteOutcome(location=location, value=job.value))
         else:
             self._copyset[location] = {job.writer}
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 job.writer,
                 AtomicWriteReply(
@@ -334,7 +334,7 @@ class AtomicOwnerNode(DSMNode):
             writer=self.node_id,
         )
         self.store.put(location, entry)
-        self.stats.blocked_time += self.sim.now - started
+        self.stats.blocked_time += self.runtime.now - started
         self._record_write(location, value, entry)
         future.resolve(WriteOutcome(location=location, value=value))
 

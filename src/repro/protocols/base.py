@@ -79,17 +79,29 @@ class DSMNode:
     def __init__(
         self,
         node_id: int,
-        sim: Simulator,
-        network: Network,
-        namespace: Namespace,
-        n_nodes: int,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        namespace: Namespace = None,
+        n_nodes: int = 0,
         recorder: Optional[HistoryRecorder] = None,
         initial_value: Any = 0,
         arena_backend: Optional[str] = None,
+        runtime=None,
     ):
+        if runtime is None:
+            # Legacy construction path: wrap the given simulator/network
+            # pair behind the runtime handle (pure bound-method
+            # forwarding — see repro.runtime.base).
+            from repro.runtime.base import SimRuntime
+
+            runtime = SimRuntime(sim, network)
+        self.runtime = runtime
         self.node_id = node_id
-        self.sim = sim
-        self.network = network
+        # Back-compat views: harnesses and tests reach the kernel and
+        # network through the node.  Under the live driver both resolve
+        # to the runtime itself (it implements both surfaces).
+        self.sim = runtime.sim
+        self.network = runtime.network
         self.namespace = namespace
         self.n_nodes = n_nodes
         self.recorder = recorder
@@ -102,7 +114,7 @@ class DSMNode:
         self._watchers: Dict[str, List[Tuple[Callable[[Any], bool], Future]]] = {}
         #: Attached TraceCollector, or None (all emits are guarded).
         self.obs = None
-        network.register(node_id, self.handle_message)
+        runtime.register(node_id, self.handle_message)
 
     # ------------------------------------------------------------------
     # The application-facing API (paper Section 3.1 semantics)
@@ -330,6 +342,10 @@ class DSMCluster:
         )
         self.namespace = namespace or Namespace.hashed(n_nodes)
         self.scheduler = TaskScheduler(self.sim)
+        from repro.runtime.base import SimRuntime
+
+        #: The driver handle every node holds (see repro.runtime).
+        self.runtime = SimRuntime(self.sim, self.network, self.scheduler)
         self.recorder = HistoryRecorder() if record_history else None
         #: The collector bound by attach_obs (None until attached).
         self._obs = None
@@ -360,8 +376,7 @@ class DSMCluster:
         )
 
         common = dict(
-            sim=self.sim,
-            network=self.network,
+            runtime=self.runtime,
             namespace=self.namespace,
             n_nodes=self.n_nodes,
             recorder=self.recorder,
@@ -401,8 +416,7 @@ class DSMCluster:
         if protocol == "central":
             self.server = CentralServerNode(
                 self.n_nodes,
-                sim=self.sim,
-                network=self.network,
+                runtime=self.runtime,
                 namespace=self.namespace,
                 n_nodes=self.n_nodes,
                 recorder=None,

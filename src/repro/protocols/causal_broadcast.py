@@ -150,9 +150,9 @@ class CausalBroadcastNode(DSMNode):
                 self._wb_flush_scheduled = True
                 self._wb_flush_hops = 0
                 self._wb_flush_mark = self._wb_writes_seen
-                self.sim.call_soon(self._wb_flush_tick)
+                self.runtime.call_soon(self._wb_flush_tick)
         else:
-            self.network.send_fanout(
+            self.runtime.send_fanout(
                 self.node_id,
                 (t for t in range(self.n_nodes) if t != self.node_id),
                 message,
@@ -180,7 +180,7 @@ class CausalBroadcastNode(DSMNode):
         ):
             self._wb_flush_hops += 1
             self._wb_flush_mark = self._wb_writes_seen
-            self.sim.call_soon(self._wb_flush_tick)
+            self.runtime.call_soon(self._wb_flush_tick)
             return
         self._wb_flush()
 
@@ -204,7 +204,7 @@ class CausalBroadcastNode(DSMNode):
                 len(survivors)
             )
         batch = BroadcastBatch(sender=self.node_id, writes=tuple(survivors))
-        self.network.send_fanout(
+        self.runtime.send_fanout(
             self.node_id,
             (t for t in range(self.n_nodes) if t != self.node_id),
             batch,

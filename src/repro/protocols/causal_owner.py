@@ -224,7 +224,7 @@ class CausalOwnerNode(DSMNode):
             # A read miss is a flush point: push queued writes out now so
             # the owner (FIFO channel) certifies them before serving us.
             self._wb_flush()
-        self._send_read_request(future, location, self.sim.now)
+        self._send_read_request(future, location, self.runtime.now)
         return future
 
     def _send_read_request(
@@ -234,7 +234,7 @@ class CausalOwnerNode(DSMNode):
         request_id = self.next_request_id()
         self._pending_reads[request_id] = (future, location, started)
         self._read_flight[request_id] = []
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             self.namespace.owner(location),
             ReadRequest(
@@ -321,7 +321,7 @@ class CausalOwnerNode(DSMNode):
             return future
         request_id = self.next_request_id()
         owner = self.namespace.owner(location)
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             owner,
             WriteRequest(
@@ -337,7 +337,7 @@ class CausalOwnerNode(DSMNode):
             # identifies the write, so the tentative and the owner's
             # copies share one identity despite differing merged stamps.
             self._pending_writes[request_id] = (
-                None, location, value, self.sim.now,
+                None, location, value, self.runtime.now,
             )
             entry = MemoryEntry(value=value, stamp=self.vt, writer=self.node_id)
             if not self.no_cache:
@@ -345,7 +345,7 @@ class CausalOwnerNode(DSMNode):
             self._record_write(location, value, entry)
             future.resolve(WriteOutcome(location=location, value=value))
             return future
-        self._pending_writes[request_id] = (future, location, value, self.sim.now)
+        self._pending_writes[request_id] = (future, location, value, self.runtime.now)
         return future
 
     def discard(self, location: str) -> bool:
@@ -438,7 +438,7 @@ class CausalOwnerNode(DSMNode):
                 )
             )
             reply_stamp = reply_stamp.update(entry.stamp)
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             src,
             ReadReply(
@@ -536,10 +536,10 @@ class CausalOwnerNode(DSMNode):
             raise ProtocolError(
                 f"R_REPLY for {location!r} did not contain the location"
             )
-        self.stats.blocked_time += self.sim.now - started
+        self.stats.blocked_time += self.runtime.now - started
         if self.obs is not None:
             self.obs.metrics.histogram("read_miss.round_trip").observe(
-                self.sim.now - started
+                self.runtime.now - started
             )
         self._record_read(location, requested_entry)
         future.resolve(requested_entry.value)
@@ -584,7 +584,7 @@ class CausalOwnerNode(DSMNode):
                     invalidated=swept, cause="serve_write",
                     trigger=[src, msg.stamp[src]],
                 )
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 src,
                 WriteReply(
@@ -597,7 +597,7 @@ class CausalOwnerNode(DSMNode):
         else:
             # Policy rejected the concurrent write: no new value enters
             # this memory, so no sweep; report the surviving entry.
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 src,
                 WriteReply(
@@ -634,7 +634,7 @@ class CausalOwnerNode(DSMNode):
                     # writer — only the stamp changes, so restamp in place.
                     self.store.restamp(location, msg.stamp)
             return
-        self.stats.blocked_time += self.sim.now - started
+        self.stats.blocked_time += self.runtime.now - started
         if msg.applied:
             # M_i[x] := (v, VT') — the writer caches its own write under
             # the owner's merged stamp, which is the canonical writestamp
@@ -796,7 +796,7 @@ class CausalOwnerNode(DSMNode):
         self._wb_flush_scheduled = True
         self._wb_flush_hops = 0
         self._wb_flush_mark = self._wb_enqueues
-        self.sim.call_soon(self._wb_flush_tick)
+        self.runtime.call_soon(self._wb_flush_tick)
 
     def _wb_flush_tick(self) -> None:
         """The delayed-flush timer, one scheduler turn at a time.
@@ -819,7 +819,7 @@ class CausalOwnerNode(DSMNode):
         ):
             self._wb_flush_hops += 1
             self._wb_flush_mark = self._wb_enqueues
-            self.sim.call_soon(self._wb_flush_tick)
+            self.runtime.call_soon(self._wb_flush_tick)
             return
         self._wb_flush()
 
@@ -847,7 +847,7 @@ class CausalOwnerNode(DSMNode):
             self.obs.metrics.histogram("wb.batch_occupancy").observe(
                 len(run.writes)
             )
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             run.owner,
             WriteBatch(
@@ -875,7 +875,7 @@ class CausalOwnerNode(DSMNode):
         replies = []
         for req in msg.writes:
             replies.append(self._certify_batched(src, req))
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             src,
             WriteBatchReply(

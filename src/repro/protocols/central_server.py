@@ -57,7 +57,7 @@ class CentralServerNode(DSMNode):
                     clock=entry.stamp, location=message.location,
                     requester=src,
                 )
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 src,
                 CentralReply(
@@ -81,7 +81,7 @@ class CentralServerNode(DSMNode):
                     "proto", "serve.write", node=self.node_id,
                     clock=entry.stamp, location=message.location, writer=src,
                 )
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 src,
                 CentralReply(
@@ -116,8 +116,8 @@ class CentralServerClient(DSMNode):
             )
         future = Future(label=f"csread:{self.node_id}:{location}")
         request_id = self.next_request_id()
-        self._pending[request_id] = (future, location, None, True, self.sim.now)
-        self.network.send(
+        self._pending[request_id] = (future, location, None, True, self.runtime.now)
+        self.runtime.send(
             self.node_id,
             self.server_id,
             CentralRead(request_id=request_id, location=location),
@@ -137,8 +137,8 @@ class CentralServerClient(DSMNode):
             )
         future = Future(label=f"cswrite:{self.node_id}:{location}")
         request_id = self.next_request_id()
-        self._pending[request_id] = (future, location, value, False, self.sim.now)
-        self.network.send(
+        self._pending[request_id] = (future, location, value, False, self.runtime.now)
+        self.runtime.send(
             self.node_id,
             self.server_id,
             CentralWrite(
@@ -163,7 +163,7 @@ class CentralServerClient(DSMNode):
         future, location, value, is_read, started = self._pending.pop(
             message.request_id
         )
-        self.stats.blocked_time += self.sim.now - started
+        self.stats.blocked_time += self.runtime.now - started
         entry = MemoryEntry(
             value=message.value, stamp=message.stamp, writer=message.writer
         )

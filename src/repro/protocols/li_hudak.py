@@ -205,8 +205,8 @@ class LiHudakNode(DSMNode):
             return future
         self.stats.remote_reads += 1
         request_id = self.next_request_id()
-        self._pending_reads[request_id] = (future, location, self.sim.now)
-        self.network.send(
+        self._pending_reads[request_id] = (future, location, self.runtime.now)
+        self.runtime.send(
             self.node_id,
             self.prob_owner(location),
             MigRead(request_id=request_id, location=location,
@@ -227,7 +227,7 @@ class LiHudakNode(DSMNode):
         future = Future(label=f"mwrite:{self.node_id}:{location}")
         pending = _PendingWrite(
             future=future, value=value, seq=self._write_seq,
-            started=self.sim.now,
+            started=self.runtime.now,
         )
         if self.is_owner(location):
             self.stats.local_writes += 1
@@ -248,7 +248,7 @@ class LiHudakNode(DSMNode):
             self._pending_writes[location] = pending
             request_id = self.next_request_id()
             self._request_meta[request_id] = location
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 self.prob_owner(location),
                 MigOwnRequest(
@@ -282,7 +282,7 @@ class LiHudakNode(DSMNode):
             self._finish_write(location)
             return
         for target in sorted(targets):
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 target,
                 MigInvalidate(request_id=pending.seq, location=location),
@@ -301,7 +301,7 @@ class LiHudakNode(DSMNode):
         self._cache.pop(location, None)
         self._busy.discard(location)
         self._notify_watchers(location, pending.value)
-        self.stats.blocked_time += self.sim.now - pending.started
+        self.stats.blocked_time += self.runtime.now - pending.started
         self._record_write(location, pending.value, entry)
         pending.future.resolve(
             WriteOutcome(location=location, value=pending.value)
@@ -339,7 +339,7 @@ class LiHudakNode(DSMNode):
                 return
             state = self._owned[location]
             state.copyset.add(msg.requester)
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 msg.requester,
                 MigReadReply(
@@ -356,14 +356,14 @@ class LiHudakNode(DSMNode):
             # We are about to own it; serve once the grant arrives.
             self._defer(location, lambda: self._on_read(msg))
             return
-        self.network.send(self.node_id, self.prob_owner(location), msg)
+        self.runtime.send(self.node_id, self.prob_owner(location), msg)
 
     def _on_read_reply(self, msg: MigReadReply) -> None:
         future, location, started = self._pending_reads.pop(msg.request_id)
         entry = MemoryEntry(value=msg.value, stamp=msg.stamp, writer=msg.writer)
         self._cache[location] = entry
         self._prob_owner[location] = msg.owner
-        self.stats.blocked_time += self.sim.now - started
+        self.stats.blocked_time += self.runtime.now - started
         self._record_read(location, entry)
         future.resolve(msg.value)
 
@@ -382,7 +382,7 @@ class LiHudakNode(DSMNode):
                     clock=state.entry.stamp, location=location,
                     to=msg.requester,
                 )
-            self.network.send(
+            self.runtime.send(
                 self.node_id,
                 msg.requester,
                 MigGrant(
@@ -403,7 +403,7 @@ class LiHudakNode(DSMNode):
         target = self.prob_owner(location)
         # Path compression: future requests here go to the new owner.
         self._prob_owner[location] = msg.requester
-        self.network.send(self.node_id, target, msg)
+        self.runtime.send(self.node_id, target, msg)
 
     def _on_grant(self, msg: MigGrant) -> None:
         location = msg.location
@@ -429,7 +429,7 @@ class LiHudakNode(DSMNode):
                 location=msg.location, owner=src,
             )
         self._cache.pop(msg.location, None)
-        self.network.send(
+        self.runtime.send(
             self.node_id,
             src,
             MigInvalidateAck(request_id=msg.request_id, location=msg.location),

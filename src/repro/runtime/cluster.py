@@ -1,0 +1,145 @@
+"""A DSM cluster on the live asyncio driver.
+
+:class:`LiveCluster` mirrors :class:`~repro.protocols.base.DSMCluster`'s
+construction surface but wires the nodes onto an
+:class:`~repro.runtime.live.AsyncioRuntime` instead of a simulator.  The
+protocol dispatch is *inherited*, not copied: ``_build_nodes`` (and
+``spawn``/``attach_obs``/``history``/``stats``/``watch``) run unchanged
+against the live runtime, because after the runtime refactor they only
+touch the driver through the handle.  Zero protocol-engine forks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.checker.history import HistoryRecorder
+from repro.errors import ProtocolError
+from repro.memory import Namespace
+from repro.protocols.base import DSMCluster, DSMNode
+from repro.runtime.live import AsyncioRuntime
+
+__all__ = ["LiveCluster", "LiveOutcome"]
+
+
+class LiveCluster(DSMCluster):
+    """``n`` processors running one DSM protocol over real sockets.
+
+    Accepts the :class:`DSMCluster` protocol/policy knobs plus the live
+    driver's: ``transport`` (``"uds"``/``"tcp"``), ``link_delay`` (float
+    or ``{(src, dst): seconds}``), ``settle`` (post-completion drain),
+    and ``timeout`` (wall-clock deadline for :meth:`run` — the live
+    analogue of deadlock detection).
+
+    ``seed`` feeds :meth:`~repro.runtime.base.Runtime.derived_rng`
+    exactly as the simulator's does, so a seeded workload issues the
+    identical operation sequence under both drivers; only the message
+    interleavings differ.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        protocol: str = "causal",
+        seed: int = 0,
+        namespace: Optional[Namespace] = None,
+        policy: Optional[object] = None,
+        initial_value: Any = 0,
+        record_history: bool = True,
+        no_cache: bool = False,
+        unsafe_write_behind: bool = False,
+        batching: bool = False,
+        delta_stamps: bool = False,
+        wire_fast_lanes: bool = True,
+        arena_backend: Optional[str] = None,
+        transport: str = "uds",
+        link_delay=None,
+        settle: float = 0.05,
+        timeout: float = 30.0,
+    ):
+        if n_nodes <= 0:
+            raise ProtocolError(f"need at least one node, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.protocol = protocol
+        self.batching = batching
+        self.delta_stamps = delta_stamps
+        self.arena_backend = arena_backend
+        self.timeout = timeout
+        codec = None
+        if delta_stamps:
+            from repro.protocols.wire import WireCodec
+
+            codec = WireCodec(fast_lanes=wire_fast_lanes)
+        self.runtime = AsyncioRuntime(
+            n_nodes,
+            transport=transport,
+            codec=codec,
+            link_delay=link_delay,
+            seed=seed,
+            settle=settle,
+        )
+        # DSMCluster's methods reach the driver through these two names;
+        # on the live runtime both resolve to the runtime itself.
+        self.scheduler = self.runtime
+        self.namespace = namespace or Namespace.hashed(n_nodes)
+        self.recorder = HistoryRecorder() if record_history else None
+        self._obs = None
+        self.server: Optional[DSMNode] = None
+        self.nodes = self._build_nodes(
+            protocol, policy, initial_value, no_cache, unsafe_write_behind,
+            batching, arena_backend,
+        )
+
+    # The inherited machinery addresses the kernel as ``self.sim`` and
+    # the message layer as ``self.network``; both are the runtime here.
+    @property
+    def sim(self):
+        return self.runtime
+
+    @property
+    def network(self):
+        return self.runtime
+
+    def attach_obs(self, collector) -> None:
+        """Attach a collector; live traces also carry wall timestamps."""
+        super().attach_obs(collector)
+        collector.bind_wall(time.monotonic)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        check_deadlock: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Run the mesh to completion (bounded by the wall-clock timeout).
+
+        ``until``/``max_events`` are simulator concepts and are not
+        accepted here; ``check_deadlock`` is subsumed by the timeout.
+        """
+        if until is not None or max_events is not None:
+            raise ProtocolError(
+                "until/max_events are simulator-only; use timeout= live"
+            )
+        self.runtime.run(timeout=timeout if timeout is not None else self.timeout)
+
+
+class LiveOutcome:
+    """A finished live execution, ready for checking and benchmarking."""
+
+    def __init__(self, cluster: LiveCluster, history, monitor_result=None,
+                 online_verdicts=None, latencies=None):
+        self.cluster = cluster
+        self.history = history
+        self.monitor_result = monitor_result
+        self.online_verdicts = online_verdicts
+        #: Per-operation completion latencies (seconds), when sampled.
+        self.latencies = latencies or []
+        runtime = cluster.runtime
+        self.elapsed = runtime.elapsed
+        self.total_messages = runtime.stats.total
+        self.dropped_messages = runtime.stats.dropped
+        self.model_bytes = runtime.stats.bytes_total
+        self.socket_bytes = runtime.socket_bytes
+        self.resyncs = runtime.resyncs

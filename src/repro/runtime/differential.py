@@ -1,0 +1,143 @@
+"""Sim ↔ live differential equivalence: the headline harness.
+
+Run the same program under both drivers, feed both histories through
+the offline :func:`~repro.checker.check_causal` and attach the
+streaming :class:`~repro.monitor.CausalStreamMonitor` to the live run,
+then compare *verdicts*:
+
+* the two drivers' offline verdicts must agree (``sim_ok == live_ok``)
+  — live nondeterminism may change the history, never its legality
+  class for these scenarios;
+* on the live history, the online monitor must agree with the offline
+  checker overall **and read for read** (the Bouajjani-style testing
+  discipline the monitor suite established, now applied to a stream
+  produced by real sockets).
+
+Any disagreement lands in ``mismatches`` — the test suite asserts it
+empty, and the CLI prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checker import check_causal
+from repro.runtime.cluster import LiveOutcome
+from repro.runtime.scenarios import SCENARIOS, run_scenario_live, run_scenario_sim
+
+__all__ = ["DifferentialResult", "compare_live_verdicts", "run_differential"]
+
+
+@dataclass
+class DifferentialResult:
+    """Verdict comparison for one scenario run under both drivers."""
+
+    scenario: str
+    sim_ok: bool
+    live_ok: bool
+    monitor_ok: Optional[bool]
+    sim_history: object
+    live_history: object
+    live_outcome: LiveOutcome
+    #: Human-readable disagreements; empty iff the drivers are equivalent.
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def explain(self) -> str:
+        if self.equivalent:
+            verdict = "causal" if self.sim_ok else "NOT causal"
+            return (
+                f"{self.scenario}: drivers agree ({verdict}); "
+                f"monitor agrees on every live read"
+            )
+        return f"{self.scenario}: DISAGREEMENT\n" + "\n".join(
+            f"  - {item}" for item in self.mismatches
+        )
+
+
+def compare_live_verdicts(
+    live_history,
+    monitor_result,
+    online_verdicts: Dict,
+    mismatches: List[str],
+) -> None:
+    """Check online-monitor agreement with the offline checker.
+
+    Appends one line per disagreement: overall verdict drift, a missing
+    online verdict, or per-read drift.  A cyclic live history (possible
+    only for non-causal protocols) must park online reads forever.
+    """
+    offline = check_causal(live_history)
+    if offline.cycle is not None:
+        if monitor_result.ok or not monitor_result.unresolved:
+            mismatches.append(
+                "offline checker found a causality cycle but the monitor "
+                "did not park the cycle's reads"
+            )
+        return
+    if monitor_result.ok != offline.ok:
+        mismatches.append(
+            f"live overall verdict drift: offline ok={offline.ok}, "
+            f"online ok={monitor_result.ok}"
+        )
+    for verdict in offline.verdicts:
+        op_id = verdict.read.op_id
+        if op_id not in online_verdicts:
+            mismatches.append(f"monitor produced no verdict for read {op_id}")
+        elif online_verdicts[op_id] != verdict.ok:
+            mismatches.append(
+                f"per-read drift at {op_id}: offline {verdict.ok}, "
+                f"online {online_verdicts[op_id]}"
+            )
+
+
+def run_differential(
+    name: str,
+    seed: int = 0,
+    transport: str = "uds",
+    delta_stamps: bool = False,
+    timeout: float = 30.0,
+) -> DifferentialResult:
+    """Run one named scenario under both drivers and compare verdicts."""
+    spec = SCENARIOS[name]
+    sim_history = run_scenario_sim(name, seed=seed)
+    sim_result = check_causal(sim_history)
+    outcome = run_scenario_live(
+        name,
+        seed=seed,
+        transport=transport,
+        delta_stamps=delta_stamps,
+        monitor=True,
+        timeout=timeout,
+    )
+    live_result = check_causal(outcome.history)
+
+    mismatches: List[str] = []
+    if sim_result.ok != spec.expect_causal:
+        mismatches.append(
+            f"simulator verdict ok={sim_result.ok} does not match the "
+            f"scenario's expected ok={spec.expect_causal}"
+        )
+    if sim_result.ok != live_result.ok:
+        mismatches.append(
+            f"driver verdict drift: sim ok={sim_result.ok}, "
+            f"live ok={live_result.ok}"
+        )
+    compare_live_verdicts(
+        outcome.history, outcome.monitor_result, outcome.online_verdicts,
+        mismatches,
+    )
+    return DifferentialResult(
+        scenario=name,
+        sim_ok=sim_result.ok,
+        live_ok=live_result.ok,
+        monitor_ok=outcome.monitor_result.ok,
+        sim_history=sim_history,
+        live_history=outcome.history,
+        live_outcome=outcome,
+        mismatches=mismatches,
+    )

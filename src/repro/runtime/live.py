@@ -1,0 +1,631 @@
+"""Real execution: the asyncio/socket driver behind the runtime handle.
+
+The same protocol-engine code that runs under the deterministic
+simulator runs here over real byte streams: every node gets a listening
+socket (Unix-domain by default, TCP on request), every ordered node
+pair a framed channel, and application generators are driven by the
+*simulator's own* :class:`~repro.sim.tasks.Task` machinery pointed at
+the asyncio event loop instead of the event heap.  Zero engine forks —
+the engines cannot tell which driver they are on.
+
+Wire format
+-----------
+Each frame is a 4-byte big-endian length followed by a pickled payload.
+With a :class:`~repro.protocols.wire.WireCodec` installed the payload is
+the codec's :class:`~repro.protocols.wire.EncodedMessage` — the same
+per-channel delta-stamp chain as the simulator's wire model, which is
+sound here because a SOCK_STREAM connection gives exactly the
+per-channel FIFO the codec requires.  Pickle is acceptable framing for
+this harness because every endpoint lives in one trusted process; a
+cross-host deployment would swap the serializer, not the protocol.
+
+What is and is not preserved
+----------------------------
+* Handler atomicity: the event loop is single-threaded and handlers are
+  plain synchronous calls — an engine's ``handle_message`` runs to
+  completion exactly as in the simulator.
+* Per-channel FIFO: frames are encoded by a single writer task per
+  directed channel and decoded in stream order.
+* Determinism is **not** preserved: wall-clock scheduling makes message
+  interleavings racy.  The differential harness therefore compares
+  checker *verdicts*, never raw histories.
+
+Faults
+------
+``fail_link`` mirrors the simulator's partition (sends dropped before
+encoding, channel marked dirty).  ``kill_connection`` is a harder fault
+with no simulator twin: it aborts the live transport mid-run, losing
+any frames still queued or buffered in the socket — frames that already
+consumed a channel sequence number.  The receiver sees a sequence gap,
+the sender's next frame carries a full writestamp (``mark_dirty``), and
+the codec's resync path recovers; connections re-establish
+automatically.  ``drop_next_frames`` deterministically forces the same
+encoded-then-lost gap (the live analogue of the simulator's
+crash-on-arrival drop) for tests that must not race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import struct
+import tempfile
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.base import Runtime
+from repro.sim.kernel import NO_ARG
+from repro.sim.tasks import Future, Task
+from repro.sim.trace import NetworkStats
+
+__all__ = ["AsyncioRuntime"]
+
+_HEADER = struct.Struct(">I")
+
+#: Default artificial per-link one-way delay (seconds).  Real loopback
+#: latency is microseconds, which collapses every interleaving the
+#: scenarios rely on; a small floor keeps message flight observable.
+DEFAULT_LINK_DELAY = 0.002
+
+
+class _LiveScheduler:
+    """Adapter letting the simulator's Task machinery drive generators here.
+
+    :class:`~repro.sim.tasks.Task` touches its scheduler only as
+    ``self._scheduler.sim.call_soon(...)`` — so a shim whose ``sim`` is
+    the live runtime re-targets every resume at the asyncio loop.
+    """
+
+    def __init__(self, runtime: "AsyncioRuntime"):
+        self.sim = runtime
+        self.tasks: List[Task] = []
+
+    def spawn(self, gen, name: str = "") -> Task:
+        if not name:
+            name = f"task-{len(self.tasks)}"
+        task = Task(self, gen, name)
+        self.tasks.append(task)
+        self.sim.call_soon(task._step, tag=task._tag, arg=None)
+        return task
+
+
+class _Side:
+    """One endpoint's live view of a connection: its reader and writer."""
+
+    __slots__ = ("owner", "peer", "reader", "writer", "tasks")
+
+    def __init__(self, owner: int, peer: int, reader, writer):
+        self.owner = owner
+        self.peer = peer
+        self.reader = reader
+        self.writer = writer
+        self.tasks: List[asyncio.Task] = []
+
+
+class _OutQueue:
+    """Persistent outbound queue for one directed channel.
+
+    Survives connection loss: messages enqueued while the link is down
+    are transmitted after reconnection (the codec's full-stamp resync
+    covers the frames that were lost in flight)."""
+
+    __slots__ = ("items", "wake")
+
+    def __init__(self):
+        self.items: deque = deque()
+        self.wake = asyncio.Event()
+
+
+class AsyncioRuntime(Runtime):
+    """Run protocol engines over real sockets on one asyncio loop.
+
+    Parameters
+    ----------
+    n_nodes:
+        Endpoint count; ids ``0..n_nodes-1`` (plus any extra ids that
+        register, e.g. the central server at id ``n_nodes``).
+    transport:
+        ``"uds"`` (Unix-domain sockets in a temp dir) or ``"tcp"``
+        (127.0.0.1, ephemeral ports).
+    codec:
+        Optional :class:`~repro.protocols.wire.WireCodec`; frames then
+        carry delta-encoded writestamps per directed channel.
+    link_delay:
+        Artificial one-way delay: a float applied to every link, or a
+        ``{(src, dst): seconds}`` map (missing pairs get the default).
+        Static per channel, so FIFO is preserved.
+    seed:
+        Seeds :meth:`derived_rng` exactly like the simulator, so a
+        workload generator draws the identical op sequence under both
+        drivers.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        transport: str = "uds",
+        codec=None,
+        link_delay=None,
+        seed: int = 0,
+        settle: float = 0.05,
+        reconnect_delay: float = 0.02,
+    ):
+        if transport not in ("uds", "tcp"):
+            raise SimulationError(f"unknown transport {transport!r}")
+        self.n_nodes = n_nodes
+        self.transport = transport
+        self.codec = codec
+        self.seed = seed
+        self.settle = settle
+        self.reconnect_delay = reconnect_delay
+        if isinstance(link_delay, dict):
+            self._delay_map = dict(link_delay)
+            self._delay_default = DEFAULT_LINK_DELAY
+        else:
+            self._delay_map = {}
+            self._delay_default = (
+                DEFAULT_LINK_DELAY if link_delay is None else float(link_delay)
+            )
+        self.stats = NetworkStats()
+        #: Actual bytes written to sockets (frames + headers); the
+        #: NetworkStats byte column keeps the wire *model* cost so live
+        #: and simulated runs stay comparable.
+        self.socket_bytes = 0
+        self.frames_delivered = 0
+        self._handlers: Dict[int, Callable[[int, object], None]] = {}
+        self._scheduler = _LiveScheduler(self)
+        self.tasks: List[Task] = []
+        self._pending_spawns: List[Tuple[Any, str]] = []
+        #: Observability hooks (collector / kernel-stream compatible).
+        self.obs = None
+        self.stream = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0: Optional[float] = None
+        self.elapsed = 0.0
+        self._closing = False
+        self._error: Optional[BaseException] = None
+        self._done = None  # asyncio.Event, created inside the loop
+        self._failed_links: Set[Tuple[int, int]] = set()
+        self._force_drop: Dict[Tuple[int, int], int] = {}
+        self._out: Dict[Tuple[int, int], _OutQueue] = {}
+        self._sides: Dict[Tuple[int, int], _Side] = {}
+        self._servers: List = []
+        self._supervisors: List[asyncio.Task] = []
+        self._io_tasks: Set[asyncio.Task] = set()
+        self._accept_tasks: Set[asyncio.Task] = set()
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        self._addrs: Dict[int, Any] = {}
+        #: Channels forced full-stamp at least once (resync evidence).
+        self.resyncs = 0
+        #: Task names still alive after tear-down (always empty unless
+        #: shutdown accounting has a bug); populated by :meth:`_shutdown`.
+        self.leaked_tasks: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Runtime interface: time, callbacks, rng, tasks
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return time.monotonic() - self._t0
+
+    def call_soon(self, callback, tag=None, arg=NO_ARG):
+        if arg is NO_ARG:
+            self._loop.call_soon(callback)
+        else:
+            self._loop.call_soon(callback, arg)
+
+    def schedule(self, delay: float, callback, tag=None, arg=NO_ARG):
+        if arg is NO_ARG:
+            self._loop.call_later(delay, callback)
+        else:
+            self._loop.call_later(delay, callback, arg)
+
+    def derived_rng(self, label: str):
+        import random
+
+        return random.Random(f"{self.seed}/{label}")
+
+    def sleep(self, duration: float) -> Future:
+        future = Future(label=f"sleep:{duration}")
+        self._loop.call_later(duration, future.resolve, None)
+        return future
+
+    def spawn(self, gen, name: str = "") -> Optional[Task]:
+        """Queue a generator; it starts when :meth:`run` brings the loop up."""
+        if self._loop is None:
+            self._pending_spawns.append((gen, name))
+            return None
+        task = self._scheduler.spawn(gen, name=name)
+        self.tasks.append(task)
+        return task
+
+    # ------------------------------------------------------------------
+    # Runtime interface: messaging
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, handler) -> None:
+        if node_id in self._handlers:
+            raise SimulationError(f"node {node_id} registered twice")
+        self._handlers[node_id] = handler
+
+    def send(self, src: int, dst: int, message: object) -> None:
+        if src == dst or dst not in self._handlers or src not in self._handlers:
+            raise SimulationError(f"invalid live channel {src}->{dst}")
+        if (src, dst) in self._failed_links:
+            # Mirror of the simulator's partition drop: the receiver
+            # never sees the frame, so the delta chain must restart.
+            if self.codec is not None:
+                self.codec.mark_dirty(src, dst)
+            self.stats.dropped += 1
+            return
+        queue = self._out.get((src, dst))
+        if queue is None:
+            queue = self._out[(src, dst)] = _OutQueue()
+        ready_at = time.monotonic() + self._link_delay(src, dst)
+        queue.items.append((ready_at, message))
+        queue.wake.set()
+
+    def send_fanout(self, src: int, dsts: Sequence[int], message: object) -> None:
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    def _link_delay(self, src: int, dst: int) -> float:
+        return self._delay_map.get((src, dst), self._delay_default)
+
+    # ------------------------------------------------------------------
+    # Back-compat views: DSMNode exposes .sim/.network through these.
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self
+
+    @property
+    def network(self):
+        return self
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_link(self, src: int, dst: int) -> None:
+        """Drop all (src → dst) sends until :meth:`heal_link`."""
+        self._failed_links.add((src, dst))
+
+    def heal_link(self, src: int, dst: int) -> None:
+        self._failed_links.discard((src, dst))
+
+    def drop_next_frames(self, src: int, dst: int, count: int = 1) -> None:
+        """Lose the next ``count`` frames *after* encoding.
+
+        The frames consume channel sequence numbers, so the receiver
+        sees a gap — the deterministic analogue of frames lost in
+        socket buffers when a connection dies."""
+        self._force_drop[(src, dst)] = self._force_drop.get((src, dst), 0) + count
+
+    def kill_connection(self, a: int, b: int) -> None:
+        """Abort the live connection between ``a`` and ``b`` mid-run.
+
+        Everything in flight is lost: queued outbound messages (never
+        encoded — no gap) and frames buffered in the sockets (encoded —
+        a real sequence gap).  Both directions resync from full stamps
+        and the client side reconnects automatically."""
+        for channel in ((a, b), (b, a)):
+            queue = self._out.get(channel)
+            if queue is not None:
+                self.stats.dropped += len(queue.items)
+                queue.items.clear()
+            if self.codec is not None:
+                self.codec.mark_dirty(*channel)
+        for channel in ((a, b), (b, a)):
+            side = self._sides.get(channel)
+            if side is not None:
+                for task in side.tasks:
+                    task.cancel()
+                side.writer.transport.abort()
+
+    # ------------------------------------------------------------------
+    # Top-level run
+    # ------------------------------------------------------------------
+    def run(self, timeout: float = 30.0) -> None:
+        """Bring the mesh up, run every spawned program, tear down.
+
+        Raises the first application/task failure, or
+        :class:`~repro.errors.SimulationError` on timeout (the live
+        analogue of the simulator's deadlock detection)."""
+        asyncio.run(self._main(timeout))
+        for task in self.tasks:
+            if task.resolved and task.failed:
+                raise task.exception()
+        if self._error is not None:
+            raise self._error
+
+    async def _main(self, timeout: float) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        self._t0 = time.monotonic()
+        try:
+            await self._start_servers()
+            self._start_supervisors()
+            for gen, name in self._pending_spawns:
+                task = self._scheduler.spawn(gen, name=name)
+                self.tasks.append(task)
+            self._pending_spawns.clear()
+            try:
+                await asyncio.wait_for(self._wait_tasks(), timeout)
+            except asyncio.TimeoutError:
+                blocked = [t.name for t in self.tasks if not t.resolved]
+                raise SimulationError(
+                    f"live run timed out after {timeout}s; "
+                    f"blocked tasks: {blocked}"
+                ) from None
+            if self._error is None and self.settle > 0:
+                # Grace period: let fire-and-forget deliveries (broadcast
+                # writes, trailing acks) drain before tear-down.
+                await asyncio.sleep(self.settle)
+        finally:
+            self.elapsed = time.monotonic() - self._t0
+            await self._shutdown()
+
+    async def _wait_tasks(self) -> None:
+        if not self.tasks:
+            return
+        remaining = [len(self.tasks)]
+        done = asyncio.Event()
+
+        def on_done(_):
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set()
+
+        for task in self.tasks:
+            task.add_done_callback(on_done)
+        waiter = asyncio.ensure_future(done.wait())
+        aborted = asyncio.ensure_future(self._done.wait())
+        try:
+            await asyncio.wait(
+                {waiter, aborted}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            waiter.cancel()
+            aborted.cancel()
+
+    def _abort(self, exc: BaseException) -> None:
+        if self._error is None:
+            self._error = exc
+        if self._done is not None:
+            self._done.set()
+
+    # ------------------------------------------------------------------
+    # Connection establishment
+    # ------------------------------------------------------------------
+    async def _start_servers(self) -> None:
+        node_ids = sorted(self._handlers)
+        if self.transport == "uds":
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-live-")
+            for node in node_ids:
+                path = os.path.join(self._tmpdir.name, f"node{node}.sock")
+                server = await asyncio.start_unix_server(
+                    self._make_accept_handler(node), path=path
+                )
+                self._servers.append(server)
+                self._addrs[node] = path
+        else:
+            for node in node_ids:
+                server = await asyncio.start_server(
+                    self._make_accept_handler(node), host="127.0.0.1", port=0
+                )
+                self._servers.append(server)
+                self._addrs[node] = server.sockets[0].getsockname()[:2]
+
+    def _make_accept_handler(self, node: int):
+        async def handle(reader, writer):
+            # The Server owns this task; track it ourselves because (on
+            # 3.11) Server.wait_closed does not wait for open handlers,
+            # and _shutdown must retire it before the leak audit runs.
+            self._accept_tasks.add(asyncio.current_task())
+            try:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                tag, peer = pickle.loads(await reader.readexactly(length))
+                if tag != "hello":
+                    raise SimulationError(f"bad hello from peer: {tag!r}")
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                writer.close()
+                return
+            side = _Side(node, peer, reader, writer)
+            await self._serve_side(side)
+            if not self._closing and self.codec is not None:
+                # Lost connection: this endpoint's outbound chain must
+                # restart from a full stamp once the peer reconnects.
+                self.codec.mark_dirty(node, peer)
+                self.resyncs += 1
+
+        return handle
+
+    def _start_supervisors(self) -> None:
+        node_ids = sorted(self._handlers)
+        for i, a in enumerate(node_ids):
+            for b in node_ids[i + 1 :]:
+                task = asyncio.ensure_future(self._client_supervisor(a, b))
+                self._supervisors.append(task)
+
+    async def _client_supervisor(self, a: int, b: int) -> None:
+        """Node ``a``'s side of the (a, b) connection; reconnects on loss."""
+        while not self._closing:
+            try:
+                if self.transport == "uds":
+                    reader, writer = await asyncio.open_unix_connection(
+                        self._addrs[b]
+                    )
+                else:
+                    host, port = self._addrs[b]
+                    reader, writer = await asyncio.open_connection(host, port)
+            except (ConnectionError, OSError):
+                await asyncio.sleep(self.reconnect_delay)
+                continue
+            hello = pickle.dumps(("hello", a))
+            writer.write(_HEADER.pack(len(hello)) + hello)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                writer.close()
+                continue
+            side = _Side(a, b, reader, writer)
+            await self._serve_side(side)
+            if self._closing:
+                return
+            if self.codec is not None:
+                self.codec.mark_dirty(a, b)
+                self.resyncs += 1
+            await asyncio.sleep(self.reconnect_delay)
+
+    async def _serve_side(self, side: _Side) -> None:
+        """Pump one endpoint's reader+writer until the connection dies."""
+        self._sides[(side.owner, side.peer)] = side
+        side.tasks = [
+            asyncio.ensure_future(self._read_loop(side)),
+            asyncio.ensure_future(self._write_loop(side)),
+        ]
+        self._io_tasks.update(side.tasks)
+        try:
+            await asyncio.wait(side.tasks, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in side.tasks:
+                task.cancel()
+            await asyncio.gather(*side.tasks, return_exceptions=True)
+            self._io_tasks.difference_update(side.tasks)
+            if self._sides.get((side.owner, side.peer)) is side:
+                del self._sides[(side.owner, side.peer)]
+            side.writer.close()
+
+    # ------------------------------------------------------------------
+    # Per-connection I/O loops
+    # ------------------------------------------------------------------
+    async def _read_loop(self, side: _Side) -> None:
+        reader = side.reader
+        src, dst = side.peer, side.owner
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                data = await reader.readexactly(length)
+                self._deliver(src, dst, data)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return  # connection lost; the supervisor handles resync
+
+    def _deliver(self, src: int, dst: int, data: bytes) -> None:
+        try:
+            payload = pickle.loads(data)
+            if self.codec is not None:
+                payload = self.codec.decode(src, dst, payload)
+            self.frames_delivered += 1
+            if self.stream is not None:
+                self.stream((src, dst))
+            self._handlers[dst](src, payload)
+        except BaseException as exc:  # noqa: BLE001 - fail the whole run
+            self._abort(exc)
+
+    async def _write_loop(self, side: _Side) -> None:
+        src, dst = side.owner, side.peer
+        writer = side.writer
+        queue = self._out.get((src, dst))
+        if queue is None:
+            queue = self._out[(src, dst)] = _OutQueue()
+        codec = self.codec
+        try:
+            while True:
+                while not queue.items:
+                    queue.wake.clear()
+                    await queue.wake.wait()
+                ready_at, message = queue.items[0]
+                delay = ready_at - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                    continue  # re-check: the queue may have been cleared
+                queue.items.popleft()
+                try:
+                    kind = message.kind
+                except AttributeError:
+                    kind = type(message).__name__
+                if codec is not None:
+                    frame = codec.encode(src, dst, message)
+                    payload: object = frame
+                    nbytes = frame.byte_size
+                    stamp_entries = frame.stamp_entries
+                    stamp_entries_full = frame.stamp_entries_full
+                else:
+                    from repro.protocols.wire import measure_message
+
+                    payload = message
+                    cost = measure_message(message)
+                    nbytes = cost.byte_size
+                    stamp_entries = cost.stamp_entries
+                    stamp_entries_full = cost.stamp_entries
+                force = self._force_drop.get((src, dst), 0)
+                if force > 0:
+                    # Encoded (sequence number consumed) then lost: the
+                    # receiver will see a gap on the next frame.
+                    self._force_drop[(src, dst)] = force - 1
+                    if codec is not None:
+                        codec.mark_dirty(src, dst)
+                    self.stats.dropped += 1
+                    continue
+                data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                self.stats.count_sent(
+                    kind, src, dst, self._link_delay(src, dst),
+                    byte_size=nbytes,
+                    stamp_entries=stamp_entries,
+                    stamp_entries_full=stamp_entries_full,
+                )
+                self.socket_bytes += _HEADER.size + len(data)
+                writer.write(_HEADER.pack(len(data)) + data)
+                await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            return  # connection lost mid-write; frames in flight are gone
+        except BaseException as exc:  # noqa: BLE001 - fail the whole run
+            self._abort(exc)
+
+    # ------------------------------------------------------------------
+    # Tear-down
+    # ------------------------------------------------------------------
+    async def _shutdown(self) -> None:
+        self._closing = True
+        for task in self._supervisors:
+            task.cancel()
+        for task in list(self._io_tasks):
+            task.cancel()
+        pending = self._supervisors + list(self._io_tasks)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._io_tasks.clear()
+        for side in list(self._sides.values()):
+            side.writer.close()
+        self._sides.clear()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        for task in list(self._accept_tasks):
+            task.cancel()
+        if self._accept_tasks:
+            await asyncio.gather(*self._accept_tasks, return_exceptions=True)
+        self._accept_tasks.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        # Anything still alive at this point (besides the _main task
+        # itself) escaped the supervisor/IO-task accounting — the leak
+        # test asserts this list is empty after every run.
+        current = asyncio.current_task()
+        self.leaked_tasks = [
+            task.get_name()
+            for task in asyncio.all_tasks()
+            if task is not current and not task.done()
+        ]

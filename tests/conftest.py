@@ -1,10 +1,64 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Live-runtime deflake guard
+--------------------------
+Tests marked ``@pytest.mark.live`` exercise the asyncio/socket driver
+and therefore real wall-clock time.  Tier-1 (`pytest -x -q`) excludes
+them by default via ``addopts = -m "not live"`` in pyproject.toml, so
+the default suite stays fully deterministic; run them explicitly with
+``pytest -m live``.  Two autouse fixtures keep the live suite honest:
+
+* the event-loop policy is pinned to :class:`asyncio.DefaultEventLoopPolicy`
+  so a uvloop-style plugin installed in some environment cannot change
+  scheduling behaviour between runs;
+* each live test gets a hard SIGALRM wall-clock deadline (independent
+  of the runtime's own ``timeout=``), so a wedged socket can never hang
+  CI — it fails loudly with a timeout message instead.
+"""
 
 from __future__ import annotations
+
+import asyncio
+import signal
 
 import pytest
 
 from repro.checker.history import History
+
+#: Hard per-test wall-clock ceiling for ``@pytest.mark.live`` tests.
+LIVE_TEST_TIMEOUT_S = 120
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "live: exercises the asyncio/socket runtime (wall-clock time; "
+        "excluded from the default deterministic run, select with -m live)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _live_guard(request):
+    """Pin the loop policy and arm a wall-clock alarm for live tests."""
+    if request.node.get_closest_marker("live") is None:
+        yield
+        return
+    previous_policy = asyncio.get_event_loop_policy()
+    asyncio.set_event_loop_policy(asyncio.DefaultEventLoopPolicy())
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"live test exceeded the {LIVE_TEST_TIMEOUT_S}s wall-clock guard"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(LIVE_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        asyncio.set_event_loop_policy(previous_policy)
 
 FIGURE_1 = """
 P1: w(x)1 w(y)2 r(y)2 r(x)1

@@ -122,8 +122,37 @@ def _current_file(path, labels):
     return path.read_text()
 
 
-def test_saved_files_carry_schema_v6():
-    assert SCHEMA_VERSION == 6
+def test_saved_files_carry_schema_v7():
+    assert SCHEMA_VERSION == 7
+
+
+def test_v7_runtime_live_section_round_trips(tmp_path):
+    """The v7 ``runtime.live`` subtree survives save/load."""
+    file = tmp_path / "v7.json"
+    live = {
+        "transport": "uds",
+        "nodes": 3,
+        "ops": 90,
+        "elapsed_s": 0.21,
+        "ops_per_sec": 428.5,
+        "sim_ops_per_sec": 5100.0,
+        "latency_p50_ms": 0.05,
+        "latency_p95_ms": 6.1,
+        "latency_p99_ms": 19.0,
+        "messages": 120,
+        "model_bytes_per_op": 41.4,
+        "socket_bytes_per_op": 196.3,
+        "framing_overhead": 4.7,
+        "verdicts_equal": True,
+    }
+    trajectory = BenchTrajectory()
+    trajectory.append(
+        BenchRecord("pr9", "t0", {"runtime": {"live": live}})
+    )
+    trajectory.save(file)
+    loaded = BenchTrajectory.load(file)
+    assert loaded.latest().metrics["runtime"]["live"] == live
+    assert loaded.metric_series("runtime", "live", "ops_per_sec") == [428.5]
 
 
 def test_v6_profile_section_round_trips(tmp_path):
@@ -188,7 +217,7 @@ def test_v5_substrate_section_round_trips(tmp_path):
     assert loaded.latest().metrics["substrate"]["vectorised"] == vectorised
 
 
-@pytest.mark.parametrize("schema", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("schema", [1, 2, 3, 4, 5, 6])
 def test_older_schema_files_load_unchanged(tmp_path, schema):
     legacy = tmp_path / f"v{schema}.json"
     legacy.write_text(json.dumps({

@@ -1,0 +1,92 @@
+"""Property-based sim ↔ live differential testing.
+
+Hypothesis picks small workload shapes; each runs under the
+deterministic simulator AND the live asyncio/socket driver.  The claim
+under test is the runtime package's contract:
+
+* the same seeded program issues the identical operation sequence under
+  both drivers (shared derived-RNG labels and draw order);
+* the live history — whatever interleaving real sockets produced — is
+  causally legal for the causal protocol;
+* the simulator's legality verdict equals the live one;
+* the streaming monitor attached to the live socket stream agrees with
+  the offline checker on the live history, read for read.
+
+Shapes stay small (live runs cost wall-clock time) and examples few;
+the sim-only property suite (`test_prop_protocols.py`) carries the
+volume.  Marked ``live``: select with ``pytest -m live``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.workload import WorkloadConfig, run_random_execution
+from repro.checker import check_causal
+from repro.runtime import run_workload_live
+from repro.runtime.differential import compare_live_verdicts
+
+pytestmark = pytest.mark.live
+
+COMMON = dict(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_shapes = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(min_value=2, max_value=3),
+        "n_locations": st.integers(min_value=1, max_value=3),
+        "ops_per_proc": st.integers(min_value=1, max_value=6),
+        "read_fraction": st.floats(min_value=0.2, max_value=0.8),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+@settings(**COMMON)
+@given(small_shapes)
+def test_live_causal_runs_satisfy_definition_2(shape):
+    outcome = run_workload_live(WorkloadConfig(protocol="causal", **shape))
+    result = check_causal(outcome.history)
+    assert result.ok, result.explain()
+
+
+@settings(**COMMON)
+@given(small_shapes)
+def test_live_verdict_equals_simulator_verdict(shape):
+    config = WorkloadConfig(protocol="causal", **shape)
+    sim = run_random_execution(config)
+    live = run_workload_live(config)
+    # Identical op sequences per process (values differ only if the
+    # protocol let them — reads may return different legal values).
+    sim_ops = [[(o.kind, o.location) for o in p] for p in sim.history.processes]
+    live_ops = [[(o.kind, o.location) for o in p] for p in live.history.processes]
+    assert sim_ops == live_ops
+    assert check_causal(sim.history).ok == check_causal(live.history).ok
+
+
+@settings(**COMMON)
+@given(small_shapes)
+def test_live_monitor_agrees_with_offline_checker(shape):
+    outcome = run_workload_live(
+        WorkloadConfig(protocol="causal", **shape), monitor=True
+    )
+    mismatches = []
+    compare_live_verdicts(
+        outcome.history, outcome.monitor_result, outcome.online_verdicts,
+        mismatches,
+    )
+    assert not mismatches, "\n".join(mismatches)
+
+
+@settings(deadline=None, max_examples=6,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(small_shapes)
+def test_live_delta_stamps_change_no_verdict(shape):
+    """The wire codec over real sockets is verdict-transparent."""
+    plain = run_workload_live(WorkloadConfig(protocol="causal", **shape))
+    framed = run_workload_live(
+        WorkloadConfig(protocol="causal", delta_stamps=True, **shape)
+    )
+    assert check_causal(plain.history).ok == check_causal(framed.history).ok

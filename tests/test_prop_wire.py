@@ -369,3 +369,104 @@ def test_fast_lanes_transparent_under_drops(n_nodes, ops, seed, backend):
     assert fast.history().to_text() == generic.history().to_text()
     assert _store_snapshot(fast) == _store_snapshot(generic)
     assert _net_snapshot(fast) == _net_snapshot(generic)
+
+
+# ----------------------------------------------------------------------
+# 4. Reconnect resync: a lost connection restarts every delta chain
+# ----------------------------------------------------------------------
+@settings(**COMMON)
+@given(
+    st.integers(min_value=2, max_value=8),      # dimension
+    st.integers(min_value=1, max_value=20),     # messages before the loss
+    st.integers(min_value=1, max_value=5),      # frames lost in flight
+    st.integers(min_value=1, max_value=20),     # messages after reconnect
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_reconnect_gap_recovers_with_full_stamp(
+    dimension, before, lost, after, seed
+):
+    """The live runtime's reconnect discipline, as a pure codec property.
+
+    A connection dies with ``lost`` already-encoded frames buffered in
+    the socket: the receiver never sees them (a channel_seq gap).  On
+    reconnect the supervisor calls ``mark_dirty`` — after that, every
+    post-reconnect message must decode despite the gap, the first one
+    must carry a full stamp, and the delta chain must resume (second
+    and later frames shrink back below the dimension)."""
+    import random
+
+    from repro.clocks import VectorClock
+    from repro.protocols.messages import WriteRequest
+    from repro.protocols.wire import WireCodec
+
+    rng = random.Random(seed)
+    codec = WireCodec()
+    clock = [0] * dimension
+
+    def next_message(request_id):
+        clock[rng.randrange(dimension)] += 1
+        return WriteRequest(
+            request_id=request_id, location="x", value=request_id,
+            stamp=VectorClock(tuple(clock)),
+        )
+
+    for i in range(before):
+        frame = codec.encode(0, 1, next_message(i))
+        assert codec.decode(0, 1, frame) is not None
+
+    # Connection loss: these frames were encoded (the delta chain moved
+    # on) but never reach the receiver.
+    for i in range(lost):
+        codec.encode(0, 1, next_message(before + i))
+    codec.mark_dirty(0, 1)  # the reconnect supervisor's contract
+
+    full_before = codec.stamps_full
+    for i in range(after):
+        message = next_message(before + lost + i)
+        frame = codec.encode(0, 1, message)
+        if i == 0:
+            assert frame.stamp_entries == dimension  # full resync stamp
+        decoded = codec.decode(0, 1, frame)  # gap present; must not raise
+        assert decoded == message
+    assert codec.stamps_full > full_before
+    if after > 1:
+        # The chain resumed: deltas carry only the changed component.
+        assert frame.stamp_entries <= 1
+
+
+@settings(**COMMON)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_unsynced_reconnect_without_mark_dirty_desyncs(dimension, lost, seed):
+    """The converse: skipping ``mark_dirty`` after a loss is unsound —
+    the first post-gap delta must raise, which is exactly why the live
+    supervisor dirties the channel on every connection loss."""
+    import random
+
+    import pytest as _pytest
+
+    from repro.clocks import VectorClock
+    from repro.protocols.messages import WriteRequest
+    from repro.protocols.wire import WireCodec, WireDesyncError
+
+    rng = random.Random(seed)
+    codec = WireCodec()
+    clock = [0] * dimension
+
+    def next_message(request_id):
+        clock[rng.randrange(dimension)] += 1
+        return WriteRequest(
+            request_id=request_id, location="x", value=request_id,
+            stamp=VectorClock(tuple(clock)),
+        )
+
+    codec.decode(0, 1, codec.encode(0, 1, next_message(0)))
+    for i in range(lost):
+        codec.encode(0, 1, next_message(1 + i))
+    tail = codec.encode(0, 1, next_message(1 + lost))
+    if tail.stamp_entries < dimension:  # genuinely a delta frame
+        with _pytest.raises(WireDesyncError):
+            codec.decode(0, 1, tail)

@@ -1,0 +1,183 @@
+"""The live asyncio/socket runtime, differentially tested against the sim.
+
+The headline claim of the runtime package: the UNMODIFIED protocol
+engines run over real sockets, and for every paper scenario the live
+execution's *legality verdict* — offline :func:`check_causal` plus the
+streaming monitor attached to the socket-fed trace — equals the
+simulator's.  Histories may differ op-for-op (wall-clock
+nondeterminism); verdicts must not.
+
+Everything here is ``@pytest.mark.live`` and excluded from the default
+deterministic run; select with ``pytest -m live``.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.checker import check_causal
+from repro.errors import ProtocolError, SimulationError
+from repro.runtime import (
+    LiveCluster,
+    SCENARIOS,
+    run_differential,
+    run_scenario_live,
+)
+
+pytestmark = pytest.mark.live
+
+
+def _open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestDifferentialEquivalence:
+    """One scenario, two drivers, equal verdicts — the acceptance bar."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_verdicts_match_simulator(self, name):
+        result = run_differential(name)
+        assert result.equivalent, result.explain()
+        # The scenario table itself pins the expected class.
+        assert result.sim_ok == SCENARIOS[name].expect_causal
+        assert result.live_ok == result.sim_ok
+
+    @pytest.mark.parametrize("name", ["fig4", "fig5"])
+    def test_causal_scenarios_survive_the_wire_codec(self, name):
+        """Delta-stamp framing over real sockets changes no verdict."""
+        result = run_differential(name, delta_stamps=True)
+        assert result.equivalent, result.explain()
+        codec = result.live_outcome.cluster.runtime.codec
+        assert codec.stamps_encoded > 0
+
+    def test_fig3_anomaly_reproduces_over_tcp(self):
+        result = run_differential("fig3", transport="tcp")
+        assert result.equivalent, result.explain()
+        assert result.live_ok is False
+
+    def test_monitor_rides_the_socket_stream(self):
+        outcome = run_scenario_live("fig5", monitor=True)
+        assert outcome.monitor_result is not None
+        assert outcome.monitor_result.ok
+        # Every read in the live history got an online verdict.
+        reads = [
+            (op.proc, op.index)
+            for ops in outcome.history.processes
+            for op in ops
+            if op.is_read
+        ]
+        assert reads and set(reads) <= set(outcome.online_verdicts)
+
+
+class TestCleanShutdown:
+    """A finished run leaves no asyncio tasks and no sockets behind."""
+
+    def test_no_leaked_tasks_or_sockets(self):
+        fds_before = _open_fds()
+        outcome = run_scenario_live("fig4")
+        runtime = outcome.cluster.runtime
+        # The runtime records what was still alive when its loop closed;
+        # a clean run retires every IO task inside _shutdown.
+        assert runtime.leaked_tasks == []
+        # asyncio.run tore the loop down entirely.
+        with pytest.raises(RuntimeError):
+            asyncio.get_running_loop()
+        assert _open_fds() <= fds_before + 1  # allow fd-number jitter
+
+    def test_run_reports_stats(self):
+        outcome = run_scenario_live("fig4")
+        assert outcome.elapsed > 0
+        assert outcome.total_messages > 0
+        assert outcome.model_bytes > 0
+        # Pickled frames on the socket outweigh the analytic wire model.
+        assert outcome.socket_bytes > 0
+
+    def test_simulator_knobs_are_rejected(self):
+        cluster = LiveCluster(2)
+        with pytest.raises(ProtocolError):
+            cluster.run(until=10.0)
+
+    def test_timeout_surfaces_blocked_tasks(self):
+        """The live analogue of deadlock detection: a read whose owner
+        never answers (the link is down and stays down) hits the
+        wall-clock deadline and names the blocked task."""
+        from repro.memory import Namespace
+
+        cluster = LiveCluster(
+            2, protocol="causal",
+            namespace=Namespace.explicit(2, {"x": 0}),
+        )
+        cluster.runtime.fail_link(0, 1)
+        cluster.runtime.fail_link(1, 0)
+
+        def reader(api):
+            yield api.read("x")
+
+        cluster.spawn(1, reader, name="blocked-reader")
+        with pytest.raises(SimulationError, match="blocked-reader"):
+            cluster.run(timeout=0.5)
+
+
+class TestFaultRecovery:
+    """Connection loss mid-run: the codec's full-stamp resync recovers."""
+
+    def _run_with_fault(self, inject, n_ops=15):
+        cluster = LiveCluster(
+            3, protocol="broadcast", seed=7, delta_stamps=True,
+            link_delay=0.005,
+        )
+        runtime = cluster.runtime
+
+        def writer(api, me):
+            for i in range(n_ops):
+                yield api.write(f"loc{i % 3}", f"n{me}v{i}")
+                yield runtime.sleep(0.004)
+
+        def saboteur():
+            yield runtime.sleep(0.02)
+            inject(runtime)
+
+        for proc in range(3):
+            cluster.spawn(proc, writer, proc, name=f"w{proc}")
+        runtime.spawn(saboteur(), name="saboteur")
+        cluster.run()
+        return cluster, runtime
+
+    def test_killed_connection_resyncs_and_stays_legal(self):
+        cluster, runtime = self._run_with_fault(
+            lambda rt: rt.kill_connection(0, 1)
+        )
+        assert runtime.resyncs > 0
+        # Post-resync traffic reopened every delta chain from a full
+        # stamp; a leaked delta would have raised WireDesyncError in
+        # a receive handler and failed the run outright.
+        assert runtime.codec.stamps_full > 0
+        result = check_causal(cluster.history())
+        assert result.ok, result.explain()
+
+    def test_deterministic_frame_gap_recovers(self):
+        """drop_next_frames loses already-encoded frames — the receiver
+        sees a channel_seq gap, exactly like a crash-on-arrival in the
+        sim — and the next full stamp must clear it."""
+        cluster, runtime = self._run_with_fault(
+            lambda rt: rt.drop_next_frames(0, 2, 3)
+        )
+        assert runtime.stats.dropped >= 3
+        assert runtime.codec.stamps_full > 0
+        result = check_causal(cluster.history())
+        assert result.ok, result.explain()
+
+    def test_failed_link_drops_before_encode(self):
+        """fail_link is the sim Network's fault-drop path: messages are
+        dropped *before* encoding and the channel is dirtied, so the
+        heal-side resync is bookkeeping, not recovery."""
+        def inject(rt):
+            rt.fail_link(0, 1)
+
+        cluster, runtime = self._run_with_fault(inject)
+        assert runtime.stats.dropped > 0
+        # Broadcast writers never block on replies, so the run completes
+        # and everything that was delivered is still causally legal.
+        result = check_causal(cluster.history())
+        assert result.ok, result.explain()
