@@ -22,7 +22,13 @@ from repro.analysis.message_model import (
     stamp_bytes_per_message,
 )
 from repro.analysis.results import ResultDelta, ResultsStore
-from repro.analysis.tables import Table, histogram_table, snapshot_table
+from repro.analysis.tables import (
+    Table,
+    bench_trajectory_table,
+    gauge_table,
+    histogram_table,
+    snapshot_table,
+)
 
 __all__ = [
     "BenchRecord",
@@ -38,4 +44,6 @@ __all__ = [
     "Table",
     "snapshot_table",
     "histogram_table",
+    "gauge_table",
+    "bench_trajectory_table",
 ]

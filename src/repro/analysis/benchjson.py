@@ -12,7 +12,7 @@ Schema (``schema`` is bumped on incompatible change; the reader accepts
 every version up to the current one)::
 
     {
-      "schema": 7,
+      "schema": 8,
       "runs": [
         {
           "label": "<free-form run label>",
@@ -35,7 +35,16 @@ every version up to the current one)::
                           ...},
             "obs": {"guard_overhead": ..., "emit_overhead": ...,
                     "traced_fig4": {"trace_events": ...,
-                                     "metrics": {...}, ...}},
+                                     "metrics": {...}, ...},
+                    "plane": {"detached_ops_per_sec": ...,
+                               "attached_ops_per_sec": ...,
+                               "overhead": ...,
+                               "frames_merged": ..., "events_merged": ...,
+                               "frames_lost": ..., "events_lost": ...,
+                               "sideband_bytes": ...,
+                               "messages_equal": true,
+                               "socket_bytes_delta": ...,
+                               "sideband_excluded": true}},
             "monitor": {"events_per_sec": ..., "ops": ...,
                         "attached_overhead": ..., "hook_overhead": ...,
                         "monitor_overhead": ..., "max_window": ...,
@@ -93,6 +102,17 @@ Schema history:
   their ratio (``framing_overhead``), and a ``verdicts_equal`` canary
   (offline causal verdicts of the two drivers must match).  v1–v6
   files load unchanged.
+* **8** — adds the optional ``obs.plane`` section (telemetry-plane
+  aggregation overhead, interleaved A/B): live ops/sec with the plane
+  detached vs attached, their ratio (``overhead``, target <= 1.10),
+  frames/events merged and lost on the attached run, sideband bytes,
+  and the isolation canaries — ``messages_equal`` (the protocol sent
+  the same messages either way) and ``sideband_excluded``
+  (``socket_bytes_delta``, the attached-minus-detached protocol-socket
+  byte difference, is negligible next to the sideband's own volume:
+  telemetry streams over a separate channel and never leaks into the
+  protocol sockets' ``NetworkStats`` accounting).  v1–v7 files load
+  unchanged.
 
 Metric leaves are plain numbers; grouping keys (``"n=4"``) are strings so
 the file diffs cleanly and loads without custom decoding.
@@ -118,13 +138,13 @@ from repro.errors import ReproError
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "BenchTrajectory"]
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: Versions the reader understands.  Older files simply lack the
 #: optional ``bandwidth`` / ``obs`` / ``monitor`` / ``substrate`` /
-#: ``protocol.profile`` / ``runtime`` metric sections, so they load
-#: as-is.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
+#: ``protocol.profile`` / ``runtime`` / ``obs.plane`` metric sections,
+#: so they load as-is.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7, 8)
 
 
 @dataclass(frozen=True)

@@ -780,6 +780,76 @@ def bench_live(n_nodes: int, ops_per_proc: int) -> Dict[str, Any]:
     }
 
 
+def bench_obs_plane(
+    n_nodes: int, ops_per_proc: int, repeats: int
+) -> Dict[str, Any]:
+    """Telemetry-plane aggregation overhead, interleaved A/B (schema v8).
+
+    Runs the same seeded live workload with the plane detached and
+    attached, interleaved within each repeat so background load hits
+    both arms alike, and reports the throughput ratio (acceptance
+    target: attached <= 1.10x slower).  The isolation canaries ride
+    along: the protocol must send the same messages either way
+    (``messages_equal``), and the sideband's bytes must never leak into
+    the protocol sockets' ledger — ``socket_bytes_delta`` is the
+    attached-minus-detached protocol-socket difference, which is zero
+    up to occasional timing-induced delta-stamp jitter (a few entries),
+    orders of magnitude below ``sideband_bytes``
+    (``sideband_excluded``).
+    """
+    from repro.apps.workload import WorkloadConfig
+    from repro.obs.plane import TelemetryPlane
+    from repro.runtime import run_workload_live
+
+    config = WorkloadConfig(
+        protocol="causal",
+        n_nodes=n_nodes,
+        n_locations=4,
+        ops_per_proc=ops_per_proc,
+        seed=42,
+        delta_stamps=True,
+    )
+
+    detached_elapsed: List[float] = []
+    attached_elapsed: List[float] = []
+    detached = attached = None
+    plane = None
+    for _ in range(repeats):
+        detached = run_workload_live(config)
+        plane = TelemetryPlane()
+        attached = run_workload_live(config, plane=plane)
+        detached_elapsed.append(detached.elapsed)
+        attached_elapsed.append(attached.elapsed)
+
+    ops = len(attached.history)
+    best_detached = min(detached_elapsed)
+    best_attached = min(attached_elapsed)
+    agg = plane.aggregator
+    sideband_bytes = (
+        plane.sideband.sideband_bytes if plane.sideband is not None else 0
+    )
+    socket_delta = attached.socket_bytes - detached.socket_bytes
+    return {
+        "nodes": n_nodes,
+        "ops": ops,
+        "detached_ops_per_sec": ops / best_detached if best_detached else 0.0,
+        "attached_ops_per_sec": ops / best_attached if best_attached else 0.0,
+        "overhead": (
+            best_attached / best_detached if best_detached else 0.0
+        ),
+        "frames_merged": agg.frames_merged,
+        "events_merged": agg.events_merged,
+        "frames_lost": agg.frames_lost,
+        "events_lost": agg.events_lost,
+        "sideband_bytes": sideband_bytes,
+        "messages_equal": attached.total_messages == detached.total_messages,
+        "socket_bytes_delta": socket_delta,
+        "sideband_excluded": sideband_bytes > 0
+        and abs(socket_delta)
+        < max(64, detached.socket_bytes // 100, sideband_bytes // 10),
+    }
+
+
 # ----------------------------------------------------------------------
 # The suite
 # ----------------------------------------------------------------------
@@ -851,6 +921,14 @@ def run_suite(
     live_nodes = min(3, max(node_counts))
     say(f"live runtime vs sim: n={live_nodes}, {live_ops} ops/proc (uds)")
     metrics["runtime"] = {"live": bench_live(live_nodes, live_ops)}
+    plane_repeats = 1 if smoke else 3
+    say(
+        f"telemetry plane A/B: n={live_nodes}, {live_ops} ops/proc "
+        f"x{plane_repeats} (interleaved)"
+    )
+    metrics["obs"]["plane"] = bench_obs_plane(
+        live_nodes, live_ops, plane_repeats
+    )
     return metrics
 
 
@@ -938,6 +1016,21 @@ def _format_summary(metrics: Dict[str, Any]) -> List[str]:
             f"{live['model_bytes_per_op']:.1f} model -> "
             f"{live['socket_bytes_per_op']:.1f} socket B/op "
             f"x{live['framing_overhead']:.1f}, {verdict})"
+        )
+    plane = metrics.get("obs", {}).get("plane")
+    if plane:
+        isolated = (
+            "sideband isolated"
+            if plane["sideband_excluded"] and plane["messages_equal"]
+            else "SIDEBAND LEAK"
+        )
+        lines.append(
+            f"telemetry plane   {plane['attached_ops_per_sec']:>12,.0f} ops/s "
+            f"attached (x{plane['overhead']:.2f} vs detached, "
+            f"{plane['events_merged']} events/"
+            f"{plane['frames_merged']} frames merged, "
+            f"{plane['events_lost']} lost, "
+            f"sideband {plane['sideband_bytes']:,}B, {isolated})"
         )
     for key, data in (
         metrics.get("substrate", {}).get("vectorised", {}).items()

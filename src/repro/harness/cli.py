@@ -13,6 +13,9 @@ Examples
     repro all
     repro trace --scenario fig4 --format chrome -o fig4.trace.json
     repro bench --profile --label pr8
+    repro top --scenario workload --ops 100
+    repro live --scenario fig3 --flight-recorder fig3.cex.json
+    repro report --bench
 """
 
 from __future__ import annotations
@@ -62,9 +65,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="compare against a previously saved results store",
     )
-    sub.add_parser(
+    report = sub.add_parser(
         "report",
-        help="run every experiment and print EXPERIMENTS.md markdown",
+        help="run every experiment and print EXPERIMENTS.md markdown "
+        "(--bench: render the benchmark trajectory instead)",
+    )
+    report.add_argument(
+        "--bench",
+        metavar="PATH",
+        nargs="?",
+        const="BENCH_substrate.json",
+        default=None,
+        help="render the BENCH_substrate.json trajectory (any schema "
+        "v1-v8) as a markdown table across appended runs instead of "
+        "running the experiments (default path: BENCH_substrate.json)",
     )
     trace = sub.add_parser(
         "trace",
@@ -200,6 +214,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0,
         help="wall-clock deadline for the run (default: 30s)",
     )
+    live.add_argument(
+        "--plane",
+        action="store_true",
+        help="attach the telemetry plane: per-node shards streaming "
+        "over the sideband, monitor riding the aggregated stream",
+    )
+    live.add_argument(
+        "--flight-recorder",
+        metavar="PATH",
+        default=None,
+        help="arm the flight recorder (implies --plane); on timeout/"
+        "crash/monitor violation, dump a replayable counterexample here",
+    )
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard: run a scenario or workload on the "
+        "asyncio runtime with the telemetry plane attached and repaint "
+        "ops/s, per-link bytes, queue depths, monitor verdict, latency",
+    )
+    top.add_argument(
+        "--scenario",
+        default="workload",
+        choices=["fig3", "fig4", "fig5", "workload"],
+        help="what to run under the dashboard (default: workload)",
+    )
+    top.add_argument(
+        "--transport", default="uds", choices=["uds", "tcp"],
+    )
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--protocol", default="causal",
+        help="workload only: protocol under test (default: causal)",
+    )
+    top.add_argument(
+        "--nodes", type=int, default=3, help="workload only (default: 3)"
+    )
+    top.add_argument(
+        "--ops", type=int, default=50,
+        help="workload only: ops per process (default: 50)",
+    )
+    top.add_argument(
+        "--locations", type=int, default=4,
+        help="workload only: distinct locations (default: 4)",
+    )
+    top.add_argument(
+        "--zipf", type=float, default=0.0,
+        help="workload only: Zipf exponent for location choice",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.2,
+        help="repaint period in seconds (default: 0.2)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append panels instead of ANSI repaint (CI logs, pipes)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="wall-clock deadline for the run (default: 60s)",
+    )
     for name, factory in sorted(EXPERIMENTS.items()):
         doc = (factory.__doc__ or "").strip().splitlines()
         help_text = doc[0] if doc else name
@@ -325,6 +400,36 @@ def _print_live_stats(outcome) -> None:
     )
 
 
+def _print_plane_stats(plane) -> None:
+    agg = plane.aggregator
+    print(
+        f"  telemetry: {agg.events_merged} events over "
+        f"{agg.frames_merged} frames merged "
+        f"({agg.events_lost} events / {agg.frames_lost} frames lost)"
+    )
+    for gap in agg.gaps[-3:]:
+        print(f"    gap: {gap}")
+
+
+def _dump_flight(plane, path) -> None:
+    """Dump the first recorded incident as a replayable counterexample."""
+    flight = plane.flight
+    if flight is None or not flight.triggered:
+        return
+    reason, detail, _ring = flight.incidents[0]
+    cex = flight.dump_to(path)
+    if cex is None:
+        print(
+            f"  flight recorder: {reason} incident recorded, but the "
+            f"reproduction search exhausted its budget"
+        )
+    else:
+        print(
+            f"  flight recorder: {reason} ({detail}) -> {path} "
+            f"({cex.n_ops} ops, format v2, replayable)"
+        )
+
+
 def _cmd_live(args) -> int:
     """Run a scenario/workload on the asyncio runtime; check the result."""
     from repro.checker import check_causal
@@ -333,6 +438,13 @@ def _cmd_live(args) -> int:
         compare_live_verdicts,
         run_differential,
     )
+
+    plane = None
+    want_flight = bool(args.flight_recorder)
+    if args.plane or want_flight:
+        from repro.obs.plane import TelemetryPlane
+
+        plane = TelemetryPlane()
 
     if args.scenario == "workload":
         from repro.apps.workload import WorkloadConfig
@@ -345,10 +457,20 @@ def _cmd_live(args) -> int:
             seed=args.seed,
             delta_stamps=args.delta_stamps,
         )
-        outcome = run_workload_live(
-            config, zipf=args.zipf, transport=args.transport,
-            monitor=True, timeout=args.timeout,
-        )
+        try:
+            outcome = run_workload_live(
+                config, zipf=args.zipf, transport=args.transport,
+                monitor=True, timeout=args.timeout,
+                plane=plane, flight=want_flight,
+            )
+        except Exception as error:
+            if plane is None:
+                raise
+            print(f"workload live run failed: {error}")
+            _print_plane_stats(plane)
+            if want_flight:
+                _dump_flight(plane, args.flight_recorder)
+            return 1
         offline = check_causal(outcome.history)
         status = "CAUSAL" if offline.ok else "VIOLATION"
         print(
@@ -356,6 +478,10 @@ def _cmd_live(args) -> int:
             f"ops, zipf={args.zipf}, {args.transport}): {status}"
         )
         _print_live_stats(outcome)
+        if plane is not None:
+            _print_plane_stats(plane)
+            if want_flight:
+                _dump_flight(plane, args.flight_recorder)
         mismatches: List[str] = []
         compare_live_verdicts(
             outcome.history, outcome.monitor_result,
@@ -383,20 +509,96 @@ def _cmd_live(args) -> int:
 
     from repro.runtime import run_scenario_live
 
-    outcome = run_scenario_live(
-        args.scenario, seed=args.seed, transport=args.transport,
-        delta_stamps=args.delta_stamps, monitor=True, timeout=args.timeout,
-    )
+    try:
+        outcome = run_scenario_live(
+            args.scenario, seed=args.seed, transport=args.transport,
+            delta_stamps=args.delta_stamps, monitor=True,
+            timeout=args.timeout, plane=plane, flight=want_flight,
+        )
+    except Exception as error:
+        if plane is None:
+            raise
+        print(f"{args.scenario} live run failed: {error}")
+        _print_plane_stats(plane)
+        if want_flight:
+            _dump_flight(plane, args.flight_recorder)
+        return 1
     offline = check_causal(outcome.history)
     status = "CAUSAL" if offline.ok else "VIOLATION"
     print(f"{args.scenario} live ({args.transport}): {status}")
     _print_live_stats(outcome)
+    if plane is not None:
+        _print_plane_stats(plane)
+        if want_flight:
+            _dump_flight(plane, args.flight_recorder)
     if not offline.ok:
         print("  " + offline.explain().replace("\n", "\n  "))
     from repro.runtime import SCENARIOS
 
     expected = SCENARIOS[args.scenario].expect_causal
     return 0 if offline.ok == expected else 1
+
+
+def _cmd_top(args) -> int:
+    """Live dashboard: run under the telemetry plane, repaint, verdict."""
+    from repro.checker import check_causal
+    from repro.obs.plane import Dashboard, TelemetryPlane
+    from repro.runtime import run_scenario_live, run_workload_live
+
+    plane = TelemetryPlane()
+    plane.dashboard = Dashboard(interval=args.interval, plain=args.plain)
+    if args.scenario == "workload":
+        from repro.apps.workload import WorkloadConfig
+
+        config = WorkloadConfig(
+            protocol=args.protocol,
+            n_nodes=args.nodes,
+            n_locations=args.locations,
+            ops_per_proc=args.ops,
+            seed=args.seed,
+            delta_stamps=True,
+        )
+        outcome = run_workload_live(
+            config, zipf=args.zipf, transport=args.transport,
+            monitor=True, timeout=args.timeout,
+            sample_latencies=True, plane=plane,
+        )
+    else:
+        outcome = run_scenario_live(
+            args.scenario, seed=args.seed, transport=args.transport,
+            monitor=True, timeout=args.timeout, plane=plane,
+        )
+    offline = check_causal(outcome.history)
+    status = "CAUSAL" if offline.ok else "VIOLATION"
+    print(f"\n{args.scenario} ({args.transport}): {status}")
+    _print_live_stats(outcome)
+    _print_plane_stats(plane)
+    expect_ok = True
+    if args.scenario != "workload":
+        from repro.runtime import SCENARIOS
+
+        expect_ok = SCENARIOS[args.scenario].expect_causal
+    return 0 if offline.ok == expect_ok else 1
+
+
+def _cmd_report_bench(path: str) -> int:
+    """Render the benchmark trajectory file as a markdown table."""
+    from repro.analysis import BenchTrajectory, bench_trajectory_table
+    from repro.errors import ReproError
+
+    try:
+        trajectory = BenchTrajectory.load(path)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not trajectory.runs:
+        print(f"no benchmark runs recorded in {path}")
+        return 0
+    table = bench_trajectory_table(
+        trajectory, title=f"Benchmark trajectory ({path})"
+    )
+    print(table.to_markdown())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -425,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  all                  run every experiment")
         return 0
     if args.command == "report":
+        if args.bench:
+            return _cmd_report_bench(args.bench)
         from repro.harness.experiments import generate_markdown_report
 
         print(generate_markdown_report())
@@ -435,6 +639,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_monitor(args)
     if args.command == "live":
         return _cmd_live(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "all":
         from repro.analysis.results import ResultsStore
 

@@ -22,6 +22,7 @@ from repro.monitor.report import violation_counterexample
 from repro.monitor.stream import (
     MonitorSubscription,
     attach_monitor,
+    attach_plane_monitor,
     feed_history,
     feed_trace,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "MonitorViolationError",
     "MonitorSubscription",
     "attach_monitor",
+    "attach_plane_monitor",
     "feed_history",
     "feed_trace",
     "violation_counterexample",

@@ -27,6 +27,7 @@ from repro.monitor.monitor import CausalStreamMonitor, MonitorResult
 __all__ = [
     "MonitorSubscription",
     "attach_monitor",
+    "attach_plane_monitor",
     "feed_trace",
     "feed_history",
 ]
@@ -89,6 +90,37 @@ def attach_monitor(
             **monitor_kwargs,
         )
     return MonitorSubscription(monitor, collector, sim=cluster.sim)
+
+
+def attach_plane_monitor(
+    plane,
+    monitor: Optional[CausalStreamMonitor] = None,
+    **monitor_kwargs,
+) -> MonitorSubscription:
+    """Attach a streaming monitor to a telemetry plane's merged stream.
+
+    The monitor subscribes to the plane's *output* collector — the
+    causally ordered merge of every per-node shard — so its verdicts
+    are computed from exactly what the aggregator reconstructed, gaps
+    and all.  The soundness argument: the merge preserves each
+    process's program order (per-source FIFO), and the monitor's
+    parking resolves cross-process reads-from ordering, so any
+    per-process-ordered interleaving — including the merged one —
+    yields the same verdicts as a direct per-node attachment.
+
+    Also registers the monitor with the plane (``watch_monitor``) so a
+    violation verdict trips the flight recorder at the moment of the
+    bad read.
+    """
+    if monitor is None:
+        monitor = CausalStreamMonitor(
+            plane.cluster.n_nodes,
+            metrics=monitor_kwargs.pop("metrics", plane.out.metrics),
+            **monitor_kwargs,
+        )
+    subscription = MonitorSubscription(monitor, plane.out, sim=None)
+    plane.watch_monitor(monitor)
+    return subscription
 
 
 def feed_trace(

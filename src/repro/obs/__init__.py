@@ -5,7 +5,9 @@ with vector clocks (:mod:`repro.obs.events`), the collector every
 instrumented component emits into (:mod:`repro.obs.collector`), the
 metrics registry (:mod:`repro.obs.metrics`), exporters for Chrome
 ``trace_event`` JSON / causal DAGs / timelines (:mod:`repro.obs.export`),
-and canonical traced scenario runs (:mod:`repro.obs.runs`).
+canonical traced scenario runs (:mod:`repro.obs.runs`), and the
+distributed telemetry plane — per-node shards, sideband streaming,
+causal aggregation, flight recorder — in :mod:`repro.obs.plane`.
 
 Instrumentation is zero-cost when detached: components hold ``obs =
 None`` and every emit site is guarded, so a run without a collector
@@ -23,6 +25,7 @@ from repro.obs.export import (
     validate_chrome_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.plane import NodeShard, TelemetryAggregator, TelemetryPlane
 from repro.obs.runs import (
     SCENARIOS,
     TracedRun,
@@ -48,4 +51,7 @@ __all__ = [
     "SCENARIOS",
     "run_traced_figure3",
     "run_traced_figure4",
+    "TelemetryPlane",
+    "TelemetryAggregator",
+    "NodeShard",
 ]

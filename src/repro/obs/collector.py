@@ -166,6 +166,41 @@ class TraceCollector:
                     callback(event)
         return event
 
+    def ingest(self, event: TraceEvent) -> TraceEvent:
+        """Accept a *preformed* event from another collector's stream.
+
+        The telemetry aggregator (:mod:`repro.obs.plane`) merges
+        per-node shard streams and replays each merged event into an
+        ordinary collector through this method, so exporters and monitor
+        subscribers downstream see exactly what :meth:`emit` would have
+        produced.  The event is re-sequenced into *this* collector's
+        emission order (the original per-shard ``seq`` lives on in
+        ``args`` if the producer chose to keep it); every other field —
+        time, clock, wall, payload — passes through untouched.
+        """
+        self._seq += 1
+        merged = TraceEvent(
+            seq=self._seq,
+            time=event.time,
+            category=event.category,
+            name=event.name,
+            node=event.node,
+            clock=event.clock,
+            dur=event.dur,
+            args=event.args,
+            wall=event.wall,
+        )
+        if self.keep_events:
+            self.events.append(merged)
+        self.metrics.counter(f"{event.category}.{event.name}").inc()
+        if self._subscribers:
+            for callback, category_filter, name_filter in self._subscribers:
+                if (
+                    category_filter is None or category_filter == event.category
+                ) and (name_filter is None or name_filter == event.name):
+                    callback(merged)
+        return merged
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------

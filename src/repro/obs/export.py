@@ -47,19 +47,30 @@ _KNOWN_PHASES = frozenset("XiBEbensfM")
 def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     """Render events in the Chrome ``trace_event`` JSON object format.
 
-    Simulated time units map to microseconds (x1000, so sub-unit
-    latencies stay visible); ``pid`` is the emitting node (-1 for global
-    events), ``tid`` the category lane.  Events with a duration (message
-    flights) become complete slices (``ph: "X"``); everything else is an
-    instant (``ph: "i"``).
+    Live traces (events carrying a ``wall`` timestamp from
+    ``collector.bind_wall``) are laid out on the wall clock: ``ts`` is
+    microseconds since the earliest wall-stamped event, so a merged
+    telemetry-plane trace shows real elapsed time.  Events without a
+    wall stamp fall back to simulated time units mapped to microseconds
+    (x1000, so sub-unit latencies stay visible).  ``pid`` is the
+    emitting node (-1 for global events), ``tid`` the category lane.
+    Events with a duration (message flights) become complete slices
+    (``ph: "X"``); everything else is an instant (``ph: "i"``).
     """
+    events = list(events)
+    walls = [e.wall for e in events if e.wall is not None]
+    base_wall = min(walls) if walls else 0.0
     trace_events: List[Dict[str, Any]] = []
     for event in events:
         pid = event.node if event.node is not None else -1
+        if event.wall is not None:
+            ts = (event.wall - base_wall) * 1e6
+        else:
+            ts = event.time * 1000.0
         record: Dict[str, Any] = {
             "name": event.name,
             "cat": event.category,
-            "ts": event.time * 1000.0,
+            "ts": ts,
             "pid": pid,
             "tid": event.category,
         }

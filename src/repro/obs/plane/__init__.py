@@ -1,0 +1,46 @@
+"""``repro.obs.plane`` — the distributed telemetry plane.
+
+Sharded observation for multi-endpoint runs: per-node ring-buffered
+collector shards (:mod:`~repro.obs.plane.shard`), a framed sideband
+channel separate from the protocol sockets
+(:mod:`~repro.obs.plane.frames`, :mod:`~repro.obs.plane.sideband`), a
+causally coherent merge (:mod:`~repro.obs.plane.aggregator`), the
+``repro top`` dashboard (:mod:`~repro.obs.plane.dashboard`) and the
+dump-on-incident flight recorder (:mod:`~repro.obs.plane.flight`).
+See DESIGN.md Section 4.12.
+"""
+
+from repro.obs.plane.aggregator import TelemetryAggregator
+from repro.obs.plane.dashboard import Dashboard, DashboardState, collect, render
+from repro.obs.plane.flight import (
+    FlightRecorder,
+    deadlock_counterexample,
+    window_from_events,
+)
+from repro.obs.plane.frames import (
+    TelemetryFrame,
+    decode_frame,
+    encode_frame,
+    split_frames,
+)
+from repro.obs.plane.plane import TelemetryPlane
+from repro.obs.plane.shard import NodeShard
+from repro.obs.plane.sideband import LiveSideband
+
+__all__ = [
+    "TelemetryAggregator",
+    "TelemetryFrame",
+    "TelemetryPlane",
+    "NodeShard",
+    "LiveSideband",
+    "FlightRecorder",
+    "Dashboard",
+    "DashboardState",
+    "collect",
+    "render",
+    "encode_frame",
+    "decode_frame",
+    "split_frames",
+    "window_from_events",
+    "deadlock_counterexample",
+]

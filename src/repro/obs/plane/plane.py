@@ -1,0 +1,299 @@
+"""The :class:`TelemetryPlane` — sharded observation, assembled.
+
+One object wires the whole tentpole together:
+
+* :meth:`attach` replaces the single-collector attachment with
+  *per-node shards*: every protocol node (and the central server, when
+  present) emits into its own bounded
+  :class:`~repro.obs.plane.shard.NodeShard`; runtime-level emitters
+  (kernel/network/codec) share an ``"rt"`` shard.  The cluster's
+  ``obs`` slot is claimed with the aggregator's *output* collector, so
+  everything downstream that asks the cluster for "its collector" —
+  ``attach_monitor``, the exporters, the CLI — transparently reads the
+  merged stream.
+* On a live cluster the shards stream over a
+  :class:`~repro.obs.plane.sideband.LiveSideband` (dedicated sockets;
+  the runtime starts/stops it around the run via its ``plane`` hook).
+  On a simulator cluster the shards loop back into the aggregator
+  directly — same frames, same gap accounting, fully deterministic —
+  which is what the tier-1 tests exercise.
+* :meth:`enable_flight` arms a
+  :class:`~repro.obs.plane.flight.FlightRecorder` over the shard
+  rings; the runtime's timeout/crash hooks and the monitor's verdict
+  callback trigger it.
+
+The plane is one-shot per cluster, mutually exclusive with
+``attach_obs`` — the same discipline as the single-collector path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.obs.collector import TraceCollector
+from repro.obs.plane.aggregator import TelemetryAggregator
+from repro.obs.plane.flight import FlightRecorder
+from repro.obs.plane.frames import TelemetryFrame
+from repro.obs.plane.shard import (
+    DEFAULT_FLUSH_EVERY,
+    DEFAULT_RING_CAPACITY,
+    NodeShard,
+)
+from repro.obs.plane.sideband import DEFAULT_HEARTBEAT, LiveSideband
+
+__all__ = ["TelemetryPlane"]
+
+#: Shard id for runtime-level emitters (kernel, network, codec).
+RUNTIME_SHARD = "rt"
+
+
+class TelemetryPlane:
+    """Per-node telemetry shards merging into one causal trace.
+
+    Parameters
+    ----------
+    out:
+        The merged-trace collector (fresh one by default).  Exporters
+        read ``plane.out.events``; monitors subscribe to ``plane.out``.
+    ring_capacity / flush_every:
+        Forwarded to every shard.
+    heartbeat:
+        Live sideband idle-flush period.
+    wall_offsets:
+        Optional ``{shard_id: seconds}`` map of artificial wall-clock
+        offsets — the skew-estimation tests' injection point.
+    """
+
+    def __init__(
+        self,
+        out: Optional[TraceCollector] = None,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        wall_offsets: Optional[Dict[Any, float]] = None,
+    ):
+        self.out = out if out is not None else TraceCollector()
+        self.aggregator = TelemetryAggregator(out=self.out)
+        self.ring_capacity = ring_capacity
+        self.flush_every = flush_every
+        self.heartbeat = heartbeat
+        self.wall_offsets = dict(wall_offsets or {})
+        self.shards: Dict[Any, NodeShard] = {}
+        self.sideband: Optional[LiveSideband] = None
+        self.flight: Optional[FlightRecorder] = None
+        self.dashboard = None
+        self.monitor = None
+        self.cluster = None
+        self.live = False
+        self._sim_drop: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> "TelemetryPlane":
+        """Shard-attach to a cluster (live or simulated).
+
+        Live clusters get the socket sideband (started by the runtime);
+        simulator clusters loop frames straight into the aggregator.
+        """
+        if cluster.obs is not None:
+            raise ProtocolError(
+                "cluster already has observability attached; "
+                "the telemetry plane is mutually exclusive with attach_obs"
+            )
+        self.cluster = cluster
+        # Live detection by driver surface, not class (avoids importing
+        # the runtime package here): only AsyncioRuntime has a socket
+        # transport.
+        self.live = hasattr(cluster.sim, "transport")
+
+        for node in cluster.nodes:
+            shard = self._make_shard(node.node_id, cluster)
+            node.obs = shard
+            node.store.obs = shard
+        if cluster.server is not None:
+            shard = self._make_shard(cluster.server.node_id, cluster)
+            cluster.server.obs = shard
+            cluster.server.store.obs = shard
+        rt_shard = self._make_shard(RUNTIME_SHARD, cluster)
+        cluster.sim.obs = rt_shard
+        cluster.network.obs = rt_shard
+        if cluster.network.codec is not None:
+            cluster.network.codec.obs = rt_shard
+
+        # Claim the cluster's one-shot obs slot with the *merged*
+        # collector: attach_monitor, exporters and the CLI all ask the
+        # cluster for its collector, and the aggregated stream is this
+        # cluster's trace.  Also enforces mutual exclusion the same way
+        # attach_obs itself does.
+        cluster._obs = self.out
+
+        if self.live:
+            runtime = cluster.runtime
+            self.sideband = LiveSideband(
+                self.aggregator,
+                transport=runtime.transport,
+                heartbeat=self.heartbeat,
+            )
+            runtime.plane = self
+        else:
+            for shard in self.shards.values():
+                self.aggregator.add_source(shard.node)
+                shard.sink = self._loopback_sink(shard.node)
+        return self
+
+    def _make_shard(self, key: Any, cluster) -> NodeShard:
+        shard = NodeShard(
+            key,
+            metrics=self.out.metrics,
+            ring_capacity=self.ring_capacity,
+            flush_every=self.flush_every,
+            wall_offset=self.wall_offsets.get(key, 0.0),
+        )
+        shard.bind(cluster.sim)
+        if self.live:
+            shard.bind_wall(time.monotonic)
+        self.shards[key] = shard
+        return shard
+
+    # ------------------------------------------------------------------
+    # Simulator loopback (deterministic tier-1 path)
+    # ------------------------------------------------------------------
+    def _loopback_sink(self, node: Any):
+        def sink(frame: TelemetryFrame) -> None:
+            drops = self._sim_drop.get(node, 0)
+            if drops > 0:
+                # The frame consumed its sequence number at the shard;
+                # dropping it here is the loopback twin of sideband
+                # frame loss — a detectable, countable gap.
+                self._sim_drop[node] = drops - 1
+                return
+            self.aggregator.feed(frame)
+
+        return sink
+
+    def sim_drop_next_frames(self, node: Any, count: int = 1) -> None:
+        """Deterministically lose ``count`` loopback frames (tests)."""
+        self._sim_drop[node] = self._sim_drop.get(node, 0) + count
+
+    def finish(self) -> None:
+        """Simulator-mode end of run: flush, reconcile, close the merge.
+
+        (Live runs do the equivalent inside the runtime teardown via
+        :meth:`stop_live`.)
+        """
+        for shard in self.shards.values():
+            shard.flush()
+            shard.sink = None
+        for shard in self.shards.values():
+            self.aggregator.reconcile(shard.node, shard.frames_cut, shard._seq)
+        self.aggregator.close()
+        self._export_gauges()
+
+    def _export_gauges(self) -> None:
+        """Publish merge/loss counters into the shared metrics registry."""
+        metrics = self.out.metrics
+        agg = self.aggregator
+        metrics.gauge("plane.frames_merged").set(agg.frames_merged)
+        metrics.gauge("plane.events_merged").set(agg.events_merged)
+        metrics.gauge("plane.frames_lost").set(agg.frames_lost)
+        metrics.gauge("plane.events_lost").set(agg.events_lost)
+        if self.sideband is not None:
+            metrics.gauge("plane.sideband_bytes").set(
+                self.sideband.sideband_bytes
+            )
+
+    # ------------------------------------------------------------------
+    # Live lifecycle (called by AsyncioRuntime around the run)
+    # ------------------------------------------------------------------
+    async def start_live(self) -> None:
+        await self.sideband.start(list(self.shards.values()))
+        if self.dashboard is not None:
+            self.dashboard.monitor = self.monitor
+            self.dashboard.start(self)
+
+    async def stop_live(self) -> None:
+        if self.dashboard is not None and self.dashboard._task is not None:
+            self.dashboard._task.cancel()
+        await self.sideband.stop()
+        self._export_gauges()
+        if self.dashboard is not None:
+            # Final frame *after* the drain, so the closing numbers
+            # include everything the merge reconciled at teardown.
+            await self.dashboard.stop()
+
+    def on_timeout(self, blocked: List[str]) -> None:
+        """Runtime hook: the live run blew its wall-clock deadline."""
+        if self.flight is not None:
+            self.flight.trigger("timeout", f"blocked: {', '.join(blocked)}")
+
+    def on_crash(self, detail: str) -> None:
+        """Runtime hook: a delivery or task crashed the run."""
+        if self.flight is not None:
+            self.flight.trigger("crash", detail)
+
+    # ------------------------------------------------------------------
+    # Flight recorder + monitor glue
+    # ------------------------------------------------------------------
+    def enable_flight(
+        self,
+        owners: Optional[Dict[str, int]] = None,
+        seed: int = 0,
+    ) -> FlightRecorder:
+        """Arm the flight recorder over this plane's shard rings."""
+        if self.cluster is None:
+            raise ProtocolError("attach the plane to a cluster first")
+        self.flight = FlightRecorder(
+            protocol=self.cluster.protocol,
+            n_procs=self.cluster.n_nodes,
+            owners=owners,
+            monitor=self.monitor,
+            seed=seed,
+        )
+        for shard in self.shards.values():
+            self.flight.watch(shard)
+        return self.flight
+
+    def watch_monitor(self, monitor) -> None:
+        """Trigger the flight recorder on streaming-monitor violations.
+
+        Chains onto the monitor's ``on_verdict`` callback (preserving
+        any existing one) so the ring snapshot is taken at the moment
+        of the violating read, not at shutdown.
+        """
+        self.monitor = monitor
+        if self.flight is not None:
+            self.flight.monitor = monitor
+        previous = monitor.on_verdict
+
+        def hook(verdict) -> None:
+            if previous is not None:
+                previous(verdict)
+            if not verdict.ok and self.flight is not None:
+                self.flight.trigger(
+                    "violation", getattr(verdict, "reason", "") or ""
+                )
+
+        monitor.on_verdict = hook
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        payload = {
+            "shards": len(self.shards),
+            "live": self.live,
+            "aggregator": self.aggregator.stats(),
+            "frames_cut": sum(s.frames_cut for s in self.shards.values()),
+            "events_emitted": sum(s._seq for s in self.shards.values()),
+        }
+        if self.sideband is not None:
+            payload["sideband"] = self.sideband.stats()
+        if self.flight is not None:
+            payload["incidents"] = [
+                {"reason": reason, "detail": detail, "ring_events": len(ring)}
+                for reason, detail, ring in self.flight.incidents
+            ]
+        return payload

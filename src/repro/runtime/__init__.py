@@ -25,7 +25,7 @@ and asserts checker/monitor verdict equality — the histories may differ
 """
 
 from repro.runtime.base import Runtime, SimRuntime
-from repro.runtime.live import AsyncioRuntime
+from repro.runtime.live import AsyncioRuntime, LinkStats
 from repro.runtime.cluster import LiveCluster, LiveOutcome
 from repro.runtime.scenarios import (
     SCENARIOS,
@@ -39,6 +39,7 @@ __all__ = [
     "Runtime",
     "SimRuntime",
     "AsyncioRuntime",
+    "LinkStats",
     "LiveCluster",
     "LiveOutcome",
     "SCENARIOS",

@@ -106,6 +106,22 @@ class LiveCluster(DSMCluster):
         super().attach_obs(collector)
         collector.bind_wall(time.monotonic)
 
+    def attach_plane(self, plane=None):
+        """Attach a sharded telemetry plane instead of one collector.
+
+        Every node gets its own ring-buffered shard streaming over the
+        runtime's telemetry sideband; ``cluster.obs`` becomes the
+        aggregator's merged collector (so ``attach_monitor`` and the
+        exporters ride the aggregated stream).  Mutually exclusive with
+        :meth:`attach_obs`.  Returns the plane.
+        """
+        from repro.obs.plane import TelemetryPlane
+
+        if plane is None:
+            plane = TelemetryPlane()
+        plane.attach(self)
+        return plane
+
     def run(
         self,
         until: Optional[float] = None,
@@ -143,3 +159,10 @@ class LiveOutcome:
         self.model_bytes = runtime.stats.bytes_total
         self.socket_bytes = runtime.socket_bytes
         self.resyncs = runtime.resyncs
+        #: Per-directed-channel accounting at teardown.
+        self.link_stats = runtime.link_stats()
+        #: Telemetry-plane summary (merge/loss/skew/sideband bytes),
+        #: None for unobserved runs.
+        self.telemetry = (
+            runtime.plane.stats() if runtime.plane is not None else None
+        )

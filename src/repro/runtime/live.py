@@ -53,6 +53,7 @@ import struct
 import tempfile
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
@@ -61,7 +62,25 @@ from repro.sim.kernel import NO_ARG
 from repro.sim.tasks import Future, Task
 from repro.sim.trace import NetworkStats
 
-__all__ = ["AsyncioRuntime"]
+__all__ = ["AsyncioRuntime", "LinkStats"]
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """One directed channel's live accounting, model beside actual.
+
+    ``model_bytes`` is the wire-model cost (the number the simulator
+    would report for the same messages); ``socket_bytes`` is what
+    actually hit the socket (pickled frames + headers).  ``queue_depth``
+    is the outbound backlog at sampling time.
+    """
+
+    src: int
+    dst: int
+    messages: int
+    model_bytes: int
+    socket_bytes: int
+    queue_depth: int
 
 _HEADER = struct.Struct(">I")
 
@@ -175,7 +194,15 @@ class AsyncioRuntime(Runtime):
         #: NetworkStats byte column keeps the wire *model* cost so live
         #: and simulated runs stay comparable.
         self.socket_bytes = 0
+        #: Same, broken down per directed channel (LinkStats feedstock).
+        self.socket_bytes_by_link: Dict[Tuple[int, int], int] = {}
         self.frames_delivered = 0
+        #: Attached :class:`~repro.obs.plane.TelemetryPlane`, if any.
+        #: The runtime starts its sideband after the protocol servers,
+        #: notifies it on timeout/crash (flight-recorder triggers) and
+        #: stops it before tear-down — observation rides the same loop
+        #: but never the same sockets.
+        self.plane = None
         self._handlers: Dict[int, Callable[[int, object], None]] = {}
         self._scheduler = _LiveScheduler(self)
         self.tasks: List[Task] = []
@@ -289,6 +316,50 @@ class AsyncioRuntime(Runtime):
         return self
 
     # ------------------------------------------------------------------
+    # Link accounting (the obs-gauge surface of the live transport)
+    # ------------------------------------------------------------------
+    def link_stats(self) -> List[LinkStats]:
+        """Per-directed-channel accounting, model beside socket truth."""
+        pairs = self.stats.by_pair
+        byte_pairs = self.stats.bytes_by_pair
+        channels = sorted(
+            set(pairs) | set(self.socket_bytes_by_link) | set(self._out)
+        )
+        out = []
+        for src, dst in channels:
+            queue = self._out.get((src, dst))
+            out.append(
+                LinkStats(
+                    src=src,
+                    dst=dst,
+                    messages=pairs.get((src, dst), 0),
+                    model_bytes=byte_pairs.get((src, dst), 0),
+                    socket_bytes=self.socket_bytes_by_link.get((src, dst), 0),
+                    queue_depth=len(queue.items) if queue is not None else 0,
+                )
+            )
+        return out
+
+    def export_gauges(self, metrics) -> None:
+        """Publish live link/transport stats as obs gauges.
+
+        Makes socket bytes, resyncs and queue depths visible to
+        ``metrics.snapshot()`` and :func:`repro.analysis.tables.snapshot_table`
+        — not only to bench output.  Called automatically at the end of
+        every observed run; callable any time for a mid-run sample.
+        """
+        for link in self.link_stats():
+            prefix = f"live.link.{link.src}->{link.dst}"
+            metrics.gauge(f"{prefix}.socket_bytes").set(link.socket_bytes)
+            metrics.gauge(f"{prefix}.model_bytes").set(link.model_bytes)
+            metrics.gauge(f"{prefix}.queue_depth").set(link.queue_depth)
+        metrics.gauge("live.socket_bytes").set(self.socket_bytes)
+        metrics.gauge("live.model_bytes").set(self.stats.bytes_total)
+        metrics.gauge("live.resyncs").set(self.resyncs)
+        metrics.gauge("live.frames_delivered").set(self.frames_delivered)
+        metrics.gauge("live.dropped").set(self.stats.dropped)
+
+    # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
     def fail_link(self, src: int, dst: int) -> None:
@@ -339,7 +410,12 @@ class AsyncioRuntime(Runtime):
         asyncio.run(self._main(timeout))
         for task in self.tasks:
             if task.resolved and task.failed:
-                raise task.exception()
+                exc = task.exception()
+                if self.plane is not None:
+                    self.plane.on_crash(
+                        f"task {task.name}: {type(exc).__name__}: {exc}"
+                    )
+                raise exc
         if self._error is not None:
             raise self._error
 
@@ -349,6 +425,10 @@ class AsyncioRuntime(Runtime):
         self._t0 = time.monotonic()
         try:
             await self._start_servers()
+            if self.plane is not None:
+                # Telemetry sideband up before any protocol task runs,
+                # so the very first op.commit is already streamable.
+                await self.plane.start_live()
             self._start_supervisors()
             for gen, name in self._pending_spawns:
                 task = self._scheduler.spawn(gen, name=name)
@@ -358,6 +438,10 @@ class AsyncioRuntime(Runtime):
                 await asyncio.wait_for(self._wait_tasks(), timeout)
             except asyncio.TimeoutError:
                 blocked = [t.name for t in self.tasks if not t.resolved]
+                if self.plane is not None:
+                    # Flight-recorder trigger: snapshot the rings *now*,
+                    # while they still hold the ops that led here.
+                    self.plane.on_timeout(blocked)
                 raise SimulationError(
                     f"live run timed out after {timeout}s; "
                     f"blocked tasks: {blocked}"
@@ -368,6 +452,15 @@ class AsyncioRuntime(Runtime):
                 await asyncio.sleep(self.settle)
         finally:
             self.elapsed = time.monotonic() - self._t0
+            registry = None
+            if self.plane is not None:
+                registry = self.plane.out.metrics
+            elif self.obs is not None:
+                registry = self.obs.metrics
+            if registry is not None:
+                self.export_gauges(registry)
+            if self.plane is not None:
+                await self.plane.stop_live()
             await self._shutdown()
 
     async def _wait_tasks(self) -> None:
@@ -396,6 +489,10 @@ class AsyncioRuntime(Runtime):
     def _abort(self, exc: BaseException) -> None:
         if self._error is None:
             self._error = exc
+            if self.plane is not None:
+                # First failure only: later aborts are cascade, and the
+                # flight recorder wants the rings at the root cause.
+                self.plane.on_crash(f"{type(exc).__name__}: {exc}")
         if self._done is not None:
             self._done.set()
 
@@ -581,7 +678,11 @@ class AsyncioRuntime(Runtime):
                     stamp_entries=stamp_entries,
                     stamp_entries_full=stamp_entries_full,
                 )
-                self.socket_bytes += _HEADER.size + len(data)
+                nbytes_wire = _HEADER.size + len(data)
+                self.socket_bytes += nbytes_wire
+                self.socket_bytes_by_link[(src, dst)] = (
+                    self.socket_bytes_by_link.get((src, dst), 0) + nbytes_wire
+                )
                 writer.write(_HEADER.pack(len(data)) + data)
                 await writer.drain()
         except asyncio.CancelledError:

@@ -160,6 +160,15 @@ def run_scenario_sim(name: str, seed: int = 0):
     return cluster.history()
 
 
+#: Explicit location owners per scenario (the flight recorder's
+#: ``make_spec`` pins; mirrors each scenario's namespace).
+SCENARIO_OWNERS: Dict[str, Dict[str, int]] = {
+    "fig3": {"x": 0, "y": 1, "z": 2},
+    "fig4": {"x": 0, "y": 1, "z": 2},
+    "fig5": {"x": 0, "y": 1},
+}
+
+
 def run_scenario_live(
     name: str,
     seed: int = 0,
@@ -167,12 +176,22 @@ def run_scenario_live(
     delta_stamps: bool = False,
     monitor: bool = False,
     timeout: float = 30.0,
+    plane=None,
+    flight: bool = False,
+    fault=None,
 ) -> LiveOutcome:
     """Run one scenario on the asyncio driver; optionally monitored.
 
     With ``monitor=True`` a :class:`~repro.monitor.CausalStreamMonitor`
     rides the run via the live collector, and the outcome carries its
     result plus the per-read online verdicts keyed ``(proc, index)``.
+
+    ``plane`` attaches a :class:`~repro.obs.plane.TelemetryPlane`
+    (pass ``True`` for a default one) — per-node shards over the
+    telemetry sideband; the monitor then observes the *aggregated*
+    stream.  ``flight`` arms the plane's flight recorder.  ``fault``
+    is an optional generator function called with the runtime and
+    plane, spawned alongside the scenario (telemetry-fault injection).
     """
     spec = SCENARIOS[name]
     cluster = LiveCluster(
@@ -185,6 +204,14 @@ def run_scenario_live(
         link_delay=spec.live_link_delay,
         timeout=timeout,
     )
+    if plane is True:
+        from repro.obs.plane import TelemetryPlane
+
+        plane = TelemetryPlane()
+    if plane is not None:
+        cluster.attach_plane(plane)
+        if flight:
+            plane.enable_flight(owners=SCENARIO_OWNERS.get(name), seed=seed)
     subscription = None
     online: Dict = {}
     if monitor:
@@ -194,6 +221,10 @@ def run_scenario_live(
             cluster,
             on_verdict=lambda v: online.__setitem__((v.op.proc, v.op.index), v.ok),
         )
+        if plane is not None:
+            plane.watch_monitor(subscription.monitor)
+    if fault is not None:
+        cluster.runtime.spawn(fault(cluster.runtime, plane), name="fault")
     spec.spawn(cluster, LIVE_TICK)
     cluster.run()
     return LiveOutcome(
@@ -222,6 +253,8 @@ def run_workload_live(
     monitor: bool = False,
     timeout: float = 60.0,
     sample_latencies: bool = False,
+    plane=None,
+    flight: bool = False,
 ) -> LiveOutcome:
     """The random workload of :mod:`repro.apps.workload`, run live.
 
@@ -245,6 +278,14 @@ def run_workload_live(
         link_delay=link_delay,
         timeout=timeout,
     )
+    if plane is True:
+        from repro.obs.plane import TelemetryPlane
+
+        plane = TelemetryPlane()
+    if plane is not None:
+        cluster.attach_plane(plane)
+        if flight:
+            plane.enable_flight(seed=config.seed)
     subscription = None
     online: Dict = {}
     if monitor:
@@ -254,9 +295,14 @@ def run_workload_live(
             cluster,
             on_verdict=lambda v: online.__setitem__((v.op.proc, v.op.index), v.ok),
         )
+        if plane is not None:
+            plane.watch_monitor(subscription.monitor)
     runtime = cluster.runtime
     cdf = _zipf_cdf(config.n_locations, zipf) if zipf > 0 else None
     latencies: list = []
+    if plane is not None and plane.dashboard is not None:
+        # Live latency feed for the `repro top` panel.
+        plane.dashboard.latencies = latencies
 
     def process(api, proc: int):
         rng = runtime.derived_rng(f"workload-{proc}")

@@ -122,8 +122,36 @@ def _current_file(path, labels):
     return path.read_text()
 
 
-def test_saved_files_carry_schema_v7():
-    assert SCHEMA_VERSION == 7
+def test_saved_files_carry_schema_v8():
+    assert SCHEMA_VERSION == 8
+
+
+def test_v8_obs_plane_section_round_trips(tmp_path):
+    """The v8 ``obs.plane`` subtree survives save/load."""
+    file = tmp_path / "v8.json"
+    plane = {
+        "nodes": 3,
+        "ops": 75,
+        "detached_ops_per_sec": 520.0,
+        "attached_ops_per_sec": 495.0,
+        "overhead": 1.05,
+        "frames_merged": 22,
+        "events_merged": 274,
+        "frames_lost": 0,
+        "events_lost": 0,
+        "sideband_bytes": 47604,
+        "messages_equal": True,
+        "socket_bytes_delta": 0,
+        "sideband_excluded": True,
+    }
+    trajectory = BenchTrajectory()
+    trajectory.append(
+        BenchRecord("pr10", "t0", {"obs": {"plane": plane}})
+    )
+    trajectory.save(file)
+    loaded = BenchTrajectory.load(file)
+    assert loaded.latest().metrics["obs"]["plane"] == plane
+    assert loaded.metric_series("obs", "plane", "overhead") == [1.05]
 
 
 def test_v7_runtime_live_section_round_trips(tmp_path):
